@@ -1,0 +1,286 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// one testing.B target per artifact, at a scale sized for iteration speed
+// (the paper-scale protocols run via cmd/azbench and cmd/modisazure).
+// Custom metrics report the reproduced anchor values so regressions in the
+// calibrated behaviour are visible in benchmark output:
+//
+//	go test -bench=. -benchmem
+package azureobs_test
+
+import (
+	"testing"
+	"time"
+
+	"azureobs/internal/core"
+	"azureobs/internal/fabric"
+	"azureobs/internal/modis"
+	"azureobs/internal/sim"
+)
+
+// BenchmarkFig1BlobBandwidth regenerates Fig. 1: per-client blob
+// download/upload bandwidth vs concurrency.
+func BenchmarkFig1BlobBandwidth(b *testing.B) {
+	var down1, down32, aggPeak float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunFig1(core.Fig1Config{
+			Seed: 42, Clients: []int{1, 32, 128}, BlobMB: 64, Runs: 1,
+		})
+		down1 = r.Points[0].DownMBps
+		down32 = r.Points[1].DownMBps
+		aggPeak = r.Points[2].DownAggMBps
+	}
+	b.ReportMetric(down1, "down@1_MB/s")
+	b.ReportMetric(down32, "down@32_MB/s")
+	b.ReportMetric(aggPeak, "agg@128_MB/s")
+}
+
+// BenchmarkFig2Table regenerates Fig. 2: per-client table ops/s for the four
+// operations (4 kB entities).
+func BenchmarkFig2Table(b *testing.B) {
+	var insert1, update8Agg float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunFig2(core.Fig2Config{
+			Seed: 42, Clients: []int{1, 8, 64}, EntitySize: 4096,
+			Inserts: 50, Queries: 50, Updates: 25,
+		})
+		insert1 = r.Points[0].InsertOps
+		update8Agg = r.Points[1].UpdateOps * 8
+	}
+	b.ReportMetric(insert1, "insert@1_ops/s")
+	b.ReportMetric(update8Agg, "updateAgg@8_ops/s")
+}
+
+// BenchmarkFig2Overload64k regenerates the 64 kB insert overload: the count
+// of clients (of 128) finishing 500 inserts (paper: 94).
+func BenchmarkFig2Overload64k(b *testing.B) {
+	var survivors float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunFig2(core.Fig2Config{
+			Seed: 42, Clients: []int{128}, EntitySize: 65536,
+			Inserts: 500, Queries: 1, Updates: 1,
+		})
+		survivors = float64(r.Points[0].InsertSurvivors)
+	}
+	b.ReportMetric(survivors, "survivors@128")
+}
+
+// BenchmarkFig3Queue regenerates Fig. 3: queue Add/Peek/Receive scalability
+// (512 B messages).
+func BenchmarkFig3Queue(b *testing.B) {
+	var addAgg64, peekAgg192 float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunFig3(core.Fig3Config{
+			Seed: 42, Clients: []int{64, 192}, MsgSize: 512, OpsEach: 40,
+		})
+		addAgg64 = r.Points[0].AggAdd()
+		peekAgg192 = r.Points[1].AggPeek()
+	}
+	b.ReportMetric(addAgg64, "addAgg@64_ops/s")
+	b.ReportMetric(peekAgg192, "peekAgg@192_ops/s")
+}
+
+// BenchmarkQueueDepthInvariance regenerates the Section 3.3 queue-depth
+// check (200k vs 2M in the paper; scaled 10x down here).
+func BenchmarkQueueDepthInvariance(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunQueueDepth(42, 20000, 200000)
+		ratio = r.LargeRate / r.SmallRate
+	}
+	b.ReportMetric(ratio, "large/small_rate")
+}
+
+// BenchmarkTable1VMLifecycle regenerates Table 1: VM request times per
+// role, size and phase.
+func BenchmarkTable1VMLifecycle(b *testing.B) {
+	var runMean, addMean float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunTable1(core.Table1Config{Seed: 42, Runs: 64})
+		runMean = r.Cell(fabric.Worker, fabric.Small, "Run").Mean()
+		addMean = r.Cell(fabric.Worker, fabric.Small, "Add").Mean()
+	}
+	b.ReportMetric(runMean, "workerSmallRun_s")
+	b.ReportMetric(addMean, "workerSmallAdd_s")
+}
+
+// BenchmarkFig4TCPLatency regenerates Fig. 4: the inter-VM TCP roundtrip
+// latency distribution.
+func BenchmarkFig4TCPLatency(b *testing.B) {
+	var p1ms float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunTCP(core.TCPConfig{Seed: 42, LatencySamples: 5000, BandwidthPairs: 1, TransfersPer: 1})
+		p1ms = r.LatencyMS.FracLE(1) * 100
+	}
+	b.ReportMetric(p1ms, "P(≤1ms)_%")
+}
+
+// BenchmarkFig5TCPBandwidth regenerates Fig. 5: the inter-VM TCP bandwidth
+// distribution from 2 GB transfers.
+func BenchmarkFig5TCPBandwidth(b *testing.B) {
+	var p90 float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunTCP(core.TCPConfig{Seed: 42, LatencySamples: 5, BandwidthPairs: 80, TransfersPer: 3})
+		p90 = (1 - r.BandwidthMBps.FracLE(90)) * 100
+	}
+	b.ReportMetric(p90, "P(≥90MB/s)_%")
+}
+
+// BenchmarkTable2Modis regenerates Table 2 at ~1% campaign scale: the task
+// mix and failure taxonomy of the ModisAzure pipeline.
+func BenchmarkTable2Modis(b *testing.B) {
+	var success, reproj float64
+	for i := 0; i < b.N; i++ {
+		st := modis.NewCampaign(modis.Config{
+			Seed: 42, Days: 14, Workers: 60,
+			MeanRequestGap: 100 * time.Minute, MeanTasksPerRequest: 140,
+		}).Run()
+		success = st.SuccessShare() * 100
+		reproj = float64(st.TaskExecs.Get("Reprojection")) / float64(st.TotalExecs()) * 100
+	}
+	b.ReportMetric(success, "success_%")
+	b.ReportMetric(reproj, "reprojection_%")
+}
+
+// BenchmarkFig7Timeouts regenerates Fig. 7's mechanism: daily VM-timeout
+// share under a forced degradation episode.
+func BenchmarkFig7Timeouts(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		cfg := modis.Config{
+			Seed: 42, Days: 14, Workers: 60,
+			MeanRequestGap: 100 * time.Minute, MeanTasksPerRequest: 140,
+			Degradation: &fabric.DegradationConfig{
+				MeanInterarrival: 100 * time.Hour,
+				FracLo:           0.2, FracHi: 0.4,
+				SlowLo: 4.5, SlowHi: 6.5,
+				DurLo: 6 * time.Hour, DurHi: 18 * time.Hour,
+			},
+		}
+		st := modis.NewCampaign(cfg).Run()
+		peak = st.Fig7Series().Max()
+	}
+	b.ReportMetric(peak, "peakDailyTimeout_%")
+}
+
+// BenchmarkPropFilterAblation regenerates the Section 6.1 ablation: filter
+// queries against a large partition at 32-way concurrency.
+func BenchmarkPropFilterAblation(b *testing.B) {
+	var timeoutShare float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunPropFilter(core.PropFilterConfig{
+			Seed: 42, Entities: 220000, Clients: []int{32},
+		})
+		timeoutShare = float64(r.Points[0].Timeouts) / float64(r.Points[0].Queries) * 100
+	}
+	b.ReportMetric(timeoutShare, "timeouts_%")
+}
+
+// BenchmarkAblationCapacityProfile contrasts the calibrated concurrency-
+// dependent blob egress capacity against a naive fixed-capacity fair-share
+// link — the ablation behind DESIGN.md's "efficiency profile" decision. The
+// naive model parks every client at its NIC limit until 400/n < 13 and
+// misses the measured mid-range decay entirely.
+func BenchmarkAblationCapacityProfile(b *testing.B) {
+	var calibrated, naive float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunFig1(core.Fig1Config{Seed: 42, Clients: []int{32}, BlobMB: 64, Runs: 1, SkipUpload: true})
+		calibrated = r.Points[0].DownMBps
+		// Naive: per-client = min(NIC, 400/n) at n=32 → NIC-bound 12.5-13.
+		naive = 400.0 / 32
+		if naive > 13 {
+			naive = 13
+		}
+	}
+	b.ReportMetric(calibrated, "calibrated@32_MB/s")
+	b.ReportMetric(naive, "naiveFairShare@32_MB/s")
+	// Paper measured ~6.5 MB/s at 32 clients: the naive model is ~2x off.
+}
+
+// BenchmarkAblationKillMultiple quantifies the Section 5.2 suggestion of
+// tightening the 4x kill bound: wasted compute per kill at 2x vs 4x.
+func BenchmarkAblationKillMultiple(b *testing.B) {
+	var tightWaste, paperWaste float64
+	for i := 0; i < b.N; i++ {
+		base := modis.Config{
+			Seed: 42, Days: 10, Workers: 50,
+			MeanRequestGap: 100 * time.Minute, MeanTasksPerRequest: 120,
+			Degradation: &fabric.DegradationConfig{
+				MeanInterarrival: 60 * time.Hour,
+				FracLo:           0.2, FracHi: 0.4,
+				SlowLo: 4.5, SlowHi: 6.5,
+				DurLo: 6 * time.Hour, DurHi: 18 * time.Hour,
+			},
+		}
+		pts := modis.RunKillAblation(base, []float64{2, 4})
+		if pts[0].Timeouts > 0 {
+			tightWaste = pts[0].WastedHours / float64(pts[0].Timeouts)
+		}
+		if pts[1].Timeouts > 0 {
+			paperWaste = pts[1].WastedHours / float64(pts[1].Timeouts)
+		}
+	}
+	b.ReportMetric(tightWaste, "wastePerKill@2x_h")
+	b.ReportMetric(paperWaste, "wastePerKill@4x_h")
+}
+
+// BenchmarkSQLCompare contrasts SQL Azure with table storage (the HPDC'10
+// extra the journal version omitted): per-client select rate and the
+// connection throttling that table storage does not have.
+func BenchmarkSQLCompare(b *testing.B) {
+	var sqlSel, tblQry, throttled float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunSQLCompare(core.SQLCompareConfig{
+			Seed: 42, Clients: []int{128}, OpsEach: 40,
+		})
+		sqlSel = r.Points[0].SQLSelectOps
+		tblQry = r.Points[0].TableQueryOps
+		throttled = float64(r.Points[0].ThrottledOpens)
+	}
+	b.ReportMetric(sqlSel, "sqlSelect@128_ops/s")
+	b.ReportMetric(tblQry, "tableQuery@128_ops/s")
+	b.ReportMetric(throttled, "sqlThrottled@128")
+}
+
+// BenchmarkAblationBlobReplication quantifies the Section 6.1 replication
+// recommendation: aggregate bandwidth at 1x vs 4x blob replication under
+// high reader concurrency.
+func BenchmarkAblationBlobReplication(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunReplication(core.ReplicationConfig{
+			Seed: 42, Clients: 64, BlobMB: 64, Replicas: []int{1, 4},
+		})
+		speedup = r.Points[1].SpeedupVsOne
+	}
+	b.ReportMetric(speedup, "4x-replication_speedup")
+}
+
+// BenchmarkSimKernelEvents measures raw kernel throughput: scheduled
+// callbacks per second.
+func BenchmarkSimKernelEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(0, tick)
+	eng.Run()
+}
+
+// BenchmarkSimKernelProcesses measures process context-switch throughput:
+// sleep/wake cycles per second (each cycle is a full goroutine handoff).
+func BenchmarkSimKernelProcesses(b *testing.B) {
+	eng := sim.NewEngine()
+	eng.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	eng.Run()
+}

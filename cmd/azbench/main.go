@@ -1,0 +1,455 @@
+// Command azbench reproduces the measurement artifacts of "Early
+// observations on the performance of Windows Azure" (Hill et al., HPDC'10)
+// against the simulated cloud: Fig. 1 (blob bandwidth), Fig. 2 (table ops),
+// Fig. 3 (queue ops), Table 1 (VM lifecycle), Figs. 4-5 (inter-VM TCP), the
+// Section 6.1 property-filter ablation, and the queue-depth invariance
+// check.
+//
+// Usage:
+//
+//	azbench -run all            # everything at paper scale
+//	azbench -run fig1 -quick    # one artifact at reduced scale
+//	azbench -run fig2 -entity 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"azureobs/internal/core"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/report"
+	"azureobs/internal/svgplot"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "artifact: all|fig1|fig2|fig3|table1|tcp|propfilter|queuedepth|replication|fig2sizes|fig3sizes")
+		seed   = flag.Uint64("seed", 42, "root random seed")
+		quick  = flag.Bool("quick", false, "reduced scale for fast runs")
+		entity = flag.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
+		msg    = flag.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir = flag.String("svg", "", "also write SVG figures into this directory")
+	)
+	flag.Parse()
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	figures = *svgDir
+
+	which := strings.ToLower(*run)
+	ran := false
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	all := which == "all"
+	if all || which == "fig1" {
+		runFig1(*seed, *quick, emit)
+		ran = true
+	}
+	if all || which == "fig2" {
+		runFig2(*seed, *quick, *entity, emit)
+		ran = true
+	}
+	if all || which == "fig3" {
+		runFig3(*seed, *quick, *msg, emit)
+		ran = true
+	}
+	if all || which == "table1" {
+		runTable1(*seed, *quick, emit)
+		ran = true
+	}
+	if all || which == "tcp" || which == "fig4" || which == "fig5" {
+		runTCP(*seed, *quick, emit)
+		ran = true
+	}
+	if all || which == "propfilter" {
+		runPropFilter(*seed, *quick, emit)
+		ran = true
+	}
+	if all || which == "queuedepth" {
+		runQueueDepth(*seed, *quick, emit)
+		ran = true
+	}
+	if all || which == "replication" {
+		runReplication(*seed, *quick, emit)
+		ran = true
+	}
+	if all || which == "sqlcompare" {
+		runSQLCompare(*seed, *quick, emit)
+		ran = true
+	}
+	if all || which == "startup" {
+		runStartup(*seed, *quick, emit)
+		ran = true
+	}
+	if which == "fig2sizes" {
+		runFig2Sizes(*seed, *quick, emit)
+		ran = true
+	}
+	if which == "fig3sizes" {
+		runFig3Sizes(*seed, *quick, emit)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// figures is the SVG output directory ("" = off).
+var figures string
+
+// writeFigure renders a plot into the figures directory.
+func writeFigure(name string, p *svgplot.Plot) {
+	if figures == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(figures, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	if err := p.Render(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	fmt.Printf("wrote %s\n", filepath.Join(figures, name))
+}
+
+func printAnchors(title string, anchors []core.Anchor) {
+	fmt.Printf("%s — paper vs measured:\n", title)
+	for _, a := range anchors {
+		fmt.Printf("  %s\n", a)
+	}
+	fmt.Println()
+}
+
+func runFig1(seed uint64, quick bool, emit func(*report.Table)) {
+	cfg := core.DefaultFig1Config()
+	cfg.Seed = seed
+	if quick {
+		cfg.Clients = []int{1, 8, 32, 128}
+		cfg.BlobMB = 128
+		cfg.Runs = 1
+	}
+	r := core.RunFig1(cfg)
+	t := report.NewTable("Fig 1 — average per-client blob bandwidth vs concurrent clients",
+		"clients", "down MB/s", "down agg MB/s", "up MB/s", "up agg MB/s")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Clients),
+			fmt.Sprintf("%.2f", p.DownMBps), fmt.Sprintf("%.1f", p.DownAggMBps),
+			fmt.Sprintf("%.2f", p.UpMBps), fmt.Sprintf("%.1f", p.UpAggMBps))
+	}
+	emit(t)
+	printAnchors("Fig 1", r.Anchors())
+
+	xs := make([]float64, len(r.Points))
+	down := make([]float64, len(r.Points))
+	up := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i], down[i], up[i] = float64(p.Clients), p.DownMBps, p.UpMBps
+	}
+	plot := svgplot.New("Fig 1 — average per-client blob bandwidth", "concurrent clients", "MB/s")
+	plot.Log2X = true
+	plot.Add("download", xs, down)
+	if up[0] > 0 {
+		plot.Add("upload", xs, up)
+	}
+	writeFigure("fig1.svg", plot)
+}
+
+func runFig2(seed uint64, quick bool, entity int, emit func(*report.Table)) {
+	cfg := core.DefaultFig2Config()
+	cfg.Seed = seed
+	cfg.EntitySize = entity
+	if quick {
+		cfg.Clients = []int{1, 8, 64, 128}
+		cfg.Inserts, cfg.Queries, cfg.Updates = 60, 60, 30
+	}
+	r := core.RunFig2(cfg)
+	t := report.NewTable(
+		fmt.Sprintf("Fig 2 — average per-client table ops/s vs concurrent clients (entity %d B)", entity),
+		"clients", "insert", "query", "update", "delete", "insert-finishers")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Clients),
+			fmt.Sprintf("%.1f", p.InsertOps), fmt.Sprintf("%.1f", p.QueryOps),
+			fmt.Sprintf("%.1f", p.UpdateOps), fmt.Sprintf("%.1f", p.DeleteOps),
+			fmt.Sprintf("%d/%d", p.InsertSurvivors, p.Clients))
+	}
+	emit(t)
+	printAnchors("Fig 2", r.Anchors())
+
+	xs := make([]float64, len(r.Points))
+	curves := map[string][]float64{"insert": nil, "query": nil, "update": nil, "delete": nil}
+	for i, p := range r.Points {
+		xs[i] = float64(p.Clients)
+		curves["insert"] = append(curves["insert"], p.InsertOps)
+		curves["query"] = append(curves["query"], p.QueryOps)
+		curves["update"] = append(curves["update"], p.UpdateOps)
+		curves["delete"] = append(curves["delete"], p.DeleteOps)
+	}
+	plot := svgplot.New(fmt.Sprintf("Fig 2 — per-client table ops/s (%d B entities)", entity),
+		"concurrent clients", "ops/s")
+	plot.Log2X = true
+	for _, name := range []string{"insert", "query", "update", "delete"} {
+		plot.Add(name, xs, curves[name])
+	}
+	writeFigure("fig2.svg", plot)
+}
+
+func runFig3(seed uint64, quick bool, msg int, emit func(*report.Table)) {
+	cfg := core.DefaultFig3Config()
+	cfg.Seed = seed
+	cfg.MsgSize = msg
+	if quick {
+		cfg.Clients = []int{1, 16, 64, 128, 192}
+		cfg.OpsEach = 40
+	}
+	r := core.RunFig3(cfg)
+	t := report.NewTable(
+		fmt.Sprintf("Fig 3 — average per-client queue ops/s vs concurrent clients (message %d B)", msg),
+		"clients", "add", "peek", "receive", "add agg", "peek agg", "recv agg")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Clients),
+			fmt.Sprintf("%.1f", p.AddOps), fmt.Sprintf("%.1f", p.PeekOps),
+			fmt.Sprintf("%.1f", p.ReceiveOps),
+			fmt.Sprintf("%.0f", p.AggAdd()), fmt.Sprintf("%.0f", p.AggPeek()),
+			fmt.Sprintf("%.0f", p.AggReceive()))
+	}
+	emit(t)
+	printAnchors("Fig 3", r.Anchors())
+
+	xs := make([]float64, len(r.Points))
+	add := make([]float64, len(r.Points))
+	peek := make([]float64, len(r.Points))
+	recv := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i], add[i], peek[i], recv[i] = float64(p.Clients), p.AddOps, p.PeekOps, p.ReceiveOps
+	}
+	plot := svgplot.New(fmt.Sprintf("Fig 3 — per-client queue ops/s (%d B messages)", msg),
+		"concurrent clients", "ops/s")
+	plot.Log2X = true
+	plot.Add("add", xs, add)
+	plot.Add("peek", xs, peek)
+	plot.Add("receive", xs, recv)
+	writeFigure("fig3.svg", plot)
+}
+
+func runTable1(seed uint64, quick bool, emit func(*report.Table)) {
+	cfg := core.DefaultTable1Config()
+	cfg.Seed = seed
+	if quick {
+		cfg.Runs = 80
+	}
+	r := core.RunTable1(cfg)
+	t := report.NewTable("Table 1 — worker/web role VM request time (seconds)",
+		"role", "size", "stat", "create", "run", "add", "suspend", "delete")
+	for _, role := range []fabric.Role{fabric.Worker, fabric.Web} {
+		for _, size := range []fabric.Size{fabric.Small, fabric.Medium, fabric.Large, fabric.ExtraLarge} {
+			cell := func(phase string, f func(*metrics.Summary) float64) string {
+				s := r.Cell(role, size, phase)
+				if s.N() == 0 {
+					return "N/A"
+				}
+				return fmt.Sprintf("%.0f", f(s))
+			}
+			mean := func(s *metrics.Summary) float64 { return s.Mean() }
+			std := func(s *metrics.Summary) float64 { return s.Std() }
+			t.AddRow(role.String(), size.String(), "AVG",
+				cell("Create", mean), cell("Run", mean), cell("Add", mean),
+				cell("Suspend", mean), cell("Delete", mean))
+			t.AddRow("", "", "STD",
+				cell("Create", std), cell("Run", std), cell("Add", std),
+				cell("Suspend", std), cell("Delete", std))
+		}
+	}
+	emit(t)
+	pct := r.Percentiles()
+	fmt.Printf("derived: %d successful runs, %.1f%% startup failures\n",
+		r.SuccessRuns, r.FailureRate()*100)
+	fmt.Printf("worker small first instance: %.0f%% ≤ 9 min, %.0f%% ≤ 10 min\n",
+		pct.WorkerWithin9Min*100, pct.WorkerWithin10Min*100)
+	fmt.Printf("web small first instance:    %.0f%% ≤ 10 min, %.0f%% ≤ 11 min\n\n",
+		pct.WebWithin10Min*100, pct.WebWithin11Min*100)
+	printAnchors("Table 1", r.Anchors())
+}
+
+func runTCP(seed uint64, quick bool, emit func(*report.Table)) {
+	cfg := core.DefaultTCPConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.LatencySamples = 2000
+		cfg.BandwidthPairs = 50
+		cfg.TransfersPer = 2
+	}
+	r := core.RunTCP(cfg)
+	report.CDFPlot(os.Stdout, "Fig 4 — cumulative TCP latency between small VMs", "ms",
+		r.LatencyMS, 60, 12)
+	fmt.Println()
+	report.CDFPlot(os.Stdout, "Fig 5 — cumulative TCP bandwidth, 2 GB transfers", "MB/s",
+		r.BandwidthMBps, 60, 12)
+	fmt.Println()
+	printAnchors("Figs 4-5", r.Anchors())
+	_ = emit
+
+	writeFigure("fig4.svg", cdfFigure("Fig 4 — cumulative TCP latency", "latency (ms)", r.LatencyMS))
+	writeFigure("fig5.svg", cdfFigure("Fig 5 — cumulative TCP bandwidth (2 GB transfers)", "bandwidth (MB/s)", r.BandwidthMBps))
+}
+
+// cdfFigure builds a cumulative-probability curve from a sample.
+func cdfFigure(title, xlabel string, s *metrics.Sample) *svgplot.Plot {
+	pts := s.CDF(100)
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, pt := range pts {
+		xs[i], ys[i] = pt.Value, pt.P
+	}
+	plot := svgplot.New(title, xlabel, "cumulative probability")
+	plot.Add("measured CDF", xs, ys)
+	return plot
+}
+
+func runPropFilter(seed uint64, quick bool, emit func(*report.Table)) {
+	cfg := core.DefaultPropFilterConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Entities = 110000
+	}
+	r := core.RunPropFilter(cfg)
+	t := report.NewTable(
+		fmt.Sprintf("Section 6.1 — property-filter queries on a %d-entity partition", r.Entities),
+		"clients", "queries", "timeouts", "mean latency (s)")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Clients), fmt.Sprint(p.Queries), fmt.Sprint(p.Timeouts),
+			fmt.Sprintf("%.1f", p.MeanLatency))
+	}
+	emit(t)
+	printAnchors("Property-filter ablation", r.Anchors())
+}
+
+func runReplication(seed uint64, quick bool, emit func(*report.Table)) {
+	cfg := core.DefaultReplicationConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Clients, cfg.BlobMB = 64, 64
+	}
+	r := core.RunReplication(cfg)
+	t := report.NewTable(
+		fmt.Sprintf("Section 6.1 — blob replication ablation (%d concurrent readers)", r.Clients),
+		"replicas", "readers/blob", "per-client MB/s", "aggregate MB/s", "speedup")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Replicas), fmt.Sprint(p.PerBlobClients),
+			fmt.Sprintf("%.2f", p.PerClientMBps), fmt.Sprintf("%.0f", p.AggregateMBps),
+			fmt.Sprintf("%.2fx", p.SpeedupVsOne))
+	}
+	emit(t)
+}
+
+func runFig2Sizes(seed uint64, quick bool, emit func(*report.Table)) {
+	base := core.DefaultFig2Config()
+	base.Seed = seed
+	if quick {
+		base.Clients = []int{1, 16, 64}
+		base.Inserts, base.Queries, base.Updates = 50, 50, 25
+	}
+	sw := core.RunFig2Sizes(base, core.PaperEntitySizes())
+	t := report.NewTable("Section 3.2 — table insert ops/s across entity sizes",
+		"clients", "1 kB", "4 kB", "16 kB", "64 kB")
+	for i, pt := range sw.Results[0].Points {
+		row := []string{fmt.Sprint(pt.Clients)}
+		for _, r := range sw.Results {
+			row = append(row, fmt.Sprintf("%.1f", r.Points[i].InsertOps))
+		}
+		t.AddRow(row...)
+	}
+	emit(t)
+}
+
+func runFig3Sizes(seed uint64, quick bool, emit func(*report.Table)) {
+	base := core.DefaultFig3Config()
+	base.Seed = seed
+	if quick {
+		base.Clients = []int{1, 16, 64}
+		base.OpsEach = 40
+	}
+	sw := core.RunFig3Sizes(base, core.PaperMessageSizes())
+	t := report.NewTable("Section 3.3 — queue add ops/s across message sizes",
+		"clients", "512 B", "1 kB", "4 kB", "8 kB")
+	for i, pt := range sw.Results[0].Points {
+		row := []string{fmt.Sprint(pt.Clients)}
+		for _, r := range sw.Results {
+			row = append(row, fmt.Sprintf("%.1f", r.Points[i].AddOps))
+		}
+		t.AddRow(row...)
+	}
+	emit(t)
+}
+
+func runStartup(seed uint64, quick bool, emit func(*report.Table)) {
+	cfg := core.DefaultStartupScalingConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Runs = 8
+	}
+	r := core.RunStartupScaling(cfg)
+	t := report.NewTable(
+		"Section 4.1 extra — deployment readiness vs size (small workers, seconds)",
+		"instances", "first ready avg", "all ready avg", "all ready std")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Instances),
+			fmt.Sprintf("%.0f", p.FirstReady.Mean()),
+			fmt.Sprintf("%.0f", p.AllReady.Mean()),
+			fmt.Sprintf("%.0f", p.AllReady.Std()))
+	}
+	emit(t)
+	fmt.Printf("marginal startup cost: %.1f s per added instance (the 60-100 s serial readiness lag)\n\n",
+		r.MarginalSecondsPerInstance())
+}
+
+func runSQLCompare(seed uint64, quick bool, emit func(*report.Table)) {
+	cfg := core.DefaultSQLCompareConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Clients = []int{1, 32, 128}
+		cfg.OpsEach = 50
+	}
+	r := core.RunSQLCompare(cfg)
+	t := report.NewTable(
+		"HPDC'10 extra — SQL Azure vs table storage, per-client ops/s (1 kB rows)",
+		"clients", "sql insert", "sql select", "tbl insert", "tbl query", "sql throttled")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Clients),
+			fmt.Sprintf("%.1f", p.SQLInsertOps), fmt.Sprintf("%.1f", p.SQLSelectOps),
+			fmt.Sprintf("%.1f", p.TableInsertOps), fmt.Sprintf("%.1f", p.TableQueryOps),
+			fmt.Sprintf("%d/%d", p.ThrottledOpens, p.Clients))
+	}
+	emit(t)
+}
+
+func runQueueDepth(seed uint64, quick bool, emit func(*report.Table)) {
+	small, large := 200000, 2000000
+	if quick {
+		small, large = 20000, 200000
+	}
+	r := core.RunQueueDepth(seed, small, large)
+	t := report.NewTable("Section 3.3 — queue depth invariance (per-client Receive ops/s @8 clients)",
+		"depth", "ops/s")
+	t.AddRow(fmt.Sprint(r.SmallDepth), fmt.Sprintf("%.1f", r.SmallRate))
+	t.AddRow(fmt.Sprint(r.LargeDepth), fmt.Sprintf("%.1f", r.LargeRate))
+	emit(t)
+}

@@ -1,0 +1,261 @@
+// Command azexplore runs ad-hoc what-if scenarios against the simulated
+// cloud: pick a service, an operation, a concurrency level and a payload
+// size, and observe per-client and aggregate behaviour. It answers the
+// capacity-planning questions the paper's recommendations raise ("how many
+// queues do I need", "what happens to my inserts at 300 clients") without
+// editing benchmark code.
+//
+// Usage:
+//
+//	azexplore -svc blob  -op download -clients 64 -size 256000000
+//	azexplore -svc table -op insert   -clients 300 -size 65536
+//	azexplore -svc queue -op receive  -clients 48
+//	azexplore -svc vm    -op lifecycle -role web -vmsize large
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/sqlsvc"
+	"azureobs/internal/storage/storerr"
+	"azureobs/internal/storage/tablesvc"
+)
+
+func main() {
+	var (
+		svc     = flag.String("svc", "blob", "service: blob|table|queue|vm")
+		op      = flag.String("op", "download", "operation (per service)")
+		clients = flag.Int("clients", 16, "concurrent clients")
+		size    = flag.Int64("size", 4096, "payload bytes (blob/table/queue)")
+		ops     = flag.Int("ops", 100, "operations per client")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		role    = flag.String("role", "worker", "vm lifecycle: worker|web")
+		vmsize  = flag.String("vmsize", "small", "vm lifecycle: small|medium|large|xl")
+	)
+	flag.Parse()
+
+	ccfg := azure.Config{Seed: *seed}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = false
+	cloud := azure.NewCloud(ccfg)
+
+	switch *svc {
+	case "blob":
+		exploreBlob(cloud, *op, *clients, *size)
+	case "table":
+		exploreTable(cloud, *op, *clients, int(*size), *ops)
+	case "queue":
+		exploreQueue(cloud, *op, *clients, int(*size), *ops)
+	case "sql":
+		exploreSQL(cloud, *op, *clients, int(*size), *ops)
+	case "vm":
+		exploreVM(cloud, *role, *vmsize)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown service %q\n", *svc)
+		os.Exit(2)
+	}
+}
+
+func exploreBlob(cloud *azure.Cloud, op string, clients int, size int64) {
+	cloud.Blob.CreateContainer("x")
+	vms := cloud.Controller.ReadyFleet(clients, fabric.Worker, fabric.Small)
+	var bw metrics.Summary
+	var errs int
+	if op == "download" {
+		setup := cloud.NewClient(vms[0], 1<<20)
+		cloud.Engine.Spawn("stage", func(p *sim.Proc) {
+			if err := setup.PutBlob(p, "x", "blob", size, true); err != nil {
+				panic(err)
+			}
+		})
+		cloud.Engine.Run()
+	}
+	for i := 0; i < clients; i++ {
+		i := i
+		cl := cloud.NewClient(vms[i], i)
+		cloud.Engine.Spawn("c", func(p *sim.Proc) {
+			start := p.Now()
+			var err error
+			if op == "download" {
+				_, err = cl.GetBlob(p, "x", "blob")
+			} else {
+				err = cl.PutBlob(p, "x", fmt.Sprintf("b%d", i), size, true)
+			}
+			if err != nil {
+				errs++
+				return
+			}
+			bw.Add(float64(size) / 1e6 / (p.Now() - start).Seconds())
+		})
+	}
+	cloud.Engine.Run()
+	fmt.Printf("blob %s: %d clients × %d MB\n", op, clients, size/1_000_000)
+	fmt.Printf("  per-client: %.2f ± %.2f MB/s   aggregate: %.1f MB/s   errors: %d\n",
+		bw.Mean(), bw.Std(), bw.Mean()*float64(clients), errs)
+}
+
+func exploreTable(cloud *azure.Cloud, op string, clients, size, opsEach int) {
+	cloud.Table.CreateTable("x")
+	var lat metrics.Summary
+	var errs, timeouts int
+	if op != "insert" {
+		for c := 0; c < clients; c++ {
+			for i := 0; i < opsEach; i++ {
+				cloud.Table.Backdoor("x", tablesvc.PaddedEntity("p", fmt.Sprintf("r-%d-%d", c, i), size))
+			}
+		}
+	}
+	for c := 0; c < clients; c++ {
+		c := c
+		cloud.Engine.Spawn("c", func(p *sim.Proc) {
+			for i := 0; i < opsEach; i++ {
+				start := p.Now()
+				var err error
+				switch op {
+				case "insert":
+					err = cloud.Table.Insert(p, "x", tablesvc.PaddedEntity("p", fmt.Sprintf("n-%d-%d", c, i), size))
+				case "query":
+					_, err = cloud.Table.Get(p, "x", "p", fmt.Sprintf("r-%d-%d", c, i))
+				case "update":
+					err = cloud.Table.Update(p, "x", tablesvc.PaddedEntity("p", "r-0-0", size))
+				case "delete":
+					err = cloud.Table.Delete(p, "x", "p", fmt.Sprintf("r-%d-%d", c, i))
+				case "filter":
+					_, err = cloud.Table.QueryFilter(p, "x", "p",
+						func(e *tablesvc.Entity) bool { return false })
+				}
+				if storerr.IsCode(err, storerr.CodeTimeout) {
+					timeouts++
+					return
+				}
+				if err != nil {
+					errs++
+					return
+				}
+				lat.AddDuration(p.Now() - start)
+			}
+		})
+	}
+	cloud.Engine.Run()
+	fmt.Printf("table %s: %d clients × %d ops, %d B entities\n", op, clients, opsEach, size)
+	fmt.Printf("  latency: %.1f ± %.1f ms   per-client: %.1f ops/s   aggregate: %.0f ops/s\n",
+		lat.Mean()*1000, lat.Std()*1000, 1/lat.Mean(), float64(clients)/lat.Mean())
+	fmt.Printf("  timeouts: %d   other errors: %d\n", timeouts, errs)
+}
+
+func exploreQueue(cloud *azure.Cloud, op string, clients, size, opsEach int) {
+	q := cloud.Queue.CreateQueue("x")
+	q.Prefill(clients*opsEach+100, size)
+	var lat metrics.Summary
+	for c := 0; c < clients; c++ {
+		cloud.Engine.Spawn("c", func(p *sim.Proc) {
+			for i := 0; i < opsEach; i++ {
+				start := p.Now()
+				var err error
+				switch op {
+				case "add":
+					_, err = cloud.Queue.Add(p, q, "m", size)
+				case "peek":
+					_, _, err = cloud.Queue.Peek(p, q)
+				default: // receive
+					_, _, _, err = cloud.Queue.Receive(p, q, time.Hour)
+				}
+				if err != nil {
+					panic(err)
+				}
+				lat.AddDuration(p.Now() - start)
+			}
+		})
+	}
+	cloud.Engine.Run()
+	fmt.Printf("queue %s: %d clients × %d ops, %d B messages\n", op, clients, opsEach, size)
+	fmt.Printf("  latency: %.1f ± %.1f ms   per-client: %.1f ops/s   aggregate: %.0f ops/s\n",
+		lat.Mean()*1000, lat.Std()*1000, 1/lat.Mean(), float64(clients)/lat.Mean())
+}
+
+func exploreSQL(cloud *azure.Cloud, op string, clients, size, opsEach int) {
+	cloud.SQL.CreateDatabase("x", sqlsvc.Business)
+	if op != "insert" {
+		for c := 0; c < clients; c++ {
+			for i := 0; i < opsEach; i++ {
+				cloud.SQL.Seed("x", "t", fmt.Sprintf("r-%d-%d", c, i), size)
+			}
+		}
+	} else {
+		cloud.SQL.Seed("x", "t", "schema", 1) // ensure the table exists
+	}
+	var lat metrics.Summary
+	var throttled int
+	for c := 0; c < clients; c++ {
+		c := c
+		cloud.Engine.Spawn("c", func(p *sim.Proc) {
+			conn, err := cloud.SQL.Open(p, "x", c)
+			if storerr.IsCode(err, storerr.CodeServerBusy) {
+				throttled++
+				return
+			}
+			if err != nil {
+				panic(err)
+			}
+			defer conn.Close()
+			for i := 0; i < opsEach; i++ {
+				start := p.Now()
+				switch op {
+				case "insert":
+					err = conn.Insert(p, "t", fmt.Sprintf("n-%d-%d", c, i), size)
+				default: // select
+					_, err = conn.Select(p, "t", fmt.Sprintf("r-%d-%d", c, i))
+				}
+				if err != nil {
+					panic(err)
+				}
+				lat.AddDuration(p.Now() - start)
+			}
+		})
+	}
+	cloud.Engine.Run()
+	fmt.Printf("sql %s: %d clients × %d ops, %d B rows\n", op, clients, opsEach, size)
+	fmt.Printf("  latency: %.1f ± %.1f ms   per-client: %.1f ops/s   throttled connections: %d\n",
+		lat.Mean()*1000, lat.Std()*1000, 1/lat.Mean(), throttled)
+}
+
+func exploreVM(cloud *azure.Cloud, roleName, sizeName string) {
+	role := fabric.Worker
+	if roleName == "web" {
+		role = fabric.Web
+	}
+	size := fabric.Small
+	switch sizeName {
+	case "medium":
+		size = fabric.Medium
+	case "large":
+		size = fabric.Large
+	case "xl", "extralarge":
+		size = fabric.ExtraLarge
+	}
+	mgmt := cloud.Management()
+	cloud.Engine.Spawn("vm", func(p *sim.Proc) {
+		d, create, err := mgmt.Deploy(p, fabric.DeploymentSpec{Name: "x", Role: role, Size: size})
+		if err != nil {
+			panic(err)
+		}
+		run, first, last, err := mgmt.Run(p, d)
+		if err != nil {
+			fmt.Printf("vm lifecycle %s/%s: startup FAILED after %v (the 2.6%% case)\n", roleName, sizeName, run)
+			return
+		}
+		sus, _ := mgmt.Suspend(p, d)
+		del, _ := mgmt.Delete(p, d)
+		fmt.Printf("vm lifecycle %s/%s (%d instances):\n", roleName, sizeName, len(d.VMs()))
+		fmt.Printf("  create  %8.1fs\n  run     %8.1fs (first ready %.1fs, last %.1fs)\n  suspend %8.1fs\n  delete  %8.1fs\n",
+			create.Seconds(), run.Seconds(), first.Seconds(), last.Seconds(), sus.Seconds(), del.Seconds())
+	})
+	cloud.Engine.Run()
+}

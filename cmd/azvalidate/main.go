@@ -1,0 +1,122 @@
+// Command azvalidate is the reproduction self-check: it runs every
+// experiment at a reduced-but-meaningful scale, compares the anchors against
+// the paper, and exits non-zero if any drifts beyond its tolerance. It is
+// the command a CI pipeline runs to catch calibration regressions.
+//
+// Usage:
+//
+//	azvalidate            # ~30 s; exit 0 iff all anchors hold
+//	azvalidate -v         # also print every anchor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"azureobs/internal/core"
+	"azureobs/internal/modis"
+)
+
+// check is one validated anchor with its tolerance (relative unless abs).
+type check struct {
+	anchor core.Anchor
+	relTol float64
+	absTol float64 // used when > 0 (for near-zero paper values)
+}
+
+func (c check) ok() bool {
+	if c.absTol > 0 {
+		d := c.anchor.Measured - c.anchor.Paper
+		if d < 0 {
+			d = -d
+		}
+		return d <= c.absTol
+	}
+	return c.anchor.RelErr() <= c.relTol
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "print every anchor")
+	seed := flag.Uint64("seed", 42, "root random seed")
+	flag.Parse()
+
+	var checks []check
+	add := func(anchors []core.Anchor, relTol float64) {
+		for _, a := range anchors {
+			checks = append(checks, check{anchor: a, relTol: relTol})
+		}
+	}
+
+	// Fig 1 at reduced blob size: exact calibration, tight tolerance.
+	fig1 := core.RunFig1(core.Fig1Config{Seed: *seed, Clients: []int{1, 32, 64, 128, 192}, BlobMB: 64, Runs: 1})
+	add(fig1.Anchors(), 0.10)
+
+	// Fig 2 at reduced op counts: peak locations must be exact, rates loose.
+	fig2 := core.RunFig2(core.Fig2Config{Seed: *seed, Clients: core.DefaultClientCounts(),
+		EntitySize: 4096, Inserts: 60, Queries: 60, Updates: 30})
+	add(fig2.Anchors(), 0.15)
+
+	// Fig 3.
+	fig3 := core.RunFig3(core.Fig3Config{Seed: *seed, Clients: core.DefaultClientCounts(), MsgSize: 512, OpsEach: 40})
+	add(fig3.Anchors(), 0.15)
+
+	// Table 1 at 120 runs: means within 20% (small-sample cells are noisy;
+	// the startup-failure-rate anchor gets an absolute band instead).
+	t1 := core.RunTable1(core.Table1Config{Seed: *seed, Runs: 120})
+	for _, a := range t1.Anchors() {
+		if a.Name == "startup failure rate" {
+			checks = append(checks, check{anchor: a, absTol: 2.5})
+			continue
+		}
+		checks = append(checks, check{anchor: a, relTol: 0.25})
+	}
+
+	// Figs 4-5. The bandwidth-tail anchor is a small binomial count at this
+	// sample size; give it an absolute band.
+	tcp := core.RunTCP(core.TCPConfig{Seed: *seed, LatencySamples: 5000, BandwidthPairs: 100, TransfersPer: 3})
+	for _, a := range tcp.Anchors() {
+		if a.Name == "P(bandwidth ≤ 30 MB/s)" {
+			checks = append(checks, check{anchor: a, absTol: 7})
+			continue
+		}
+		checks = append(checks, check{anchor: a, relTol: 0.15})
+	}
+
+	// Table 2 / Fig 7 at ~2% campaign scale: shares within tolerance; the
+	// rare-event classes get absolute bands.
+	st := modis.NewCampaign(modis.Config{Seed: *seed, Days: 21, Workers: 60,
+		MeanRequestGap: 100 * time.Minute, MeanTasksPerRequest: 140}).Run()
+	for _, a := range st.Anchors() {
+		switch {
+		case a.Name == "Fig 7 peak daily timeout share":
+			// Few episodes fit a 21-day window; just require a sane range.
+			checks = append(checks, check{anchor: a, absTol: 16})
+		case a.Paper >= 4: // the big shares
+			checks = append(checks, check{anchor: a, relTol: 0.10})
+		default: // rare classes: absolute bands
+			checks = append(checks, check{anchor: a, absTol: a.Paper + 1})
+		}
+	}
+
+	// Property-filter ablation.
+	pf := core.RunPropFilter(core.PropFilterConfig{Seed: *seed, Entities: 220000, Clients: []int{1, 32}})
+	for _, a := range pf.Anchors() {
+		checks = append(checks, check{anchor: a, absTol: 30})
+	}
+
+	failed := 0
+	for _, c := range checks {
+		if !c.ok() {
+			failed++
+			fmt.Printf("FAIL  %s\n", c.anchor)
+		} else if *verbose {
+			fmt.Printf("ok    %s\n", c.anchor)
+		}
+	}
+	fmt.Printf("\nazvalidate: %d/%d anchors within tolerance\n", len(checks)-failed, len(checks))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

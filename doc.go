@@ -1,0 +1,13 @@
+// Package azureobs reproduces "Early observations on the performance of
+// Windows Azure" (Hill, Li, Mao, Ruiz-Alvarez, Humphrey — HPDC 2010) as a
+// deterministic discrete-event simulation of the 2010-era Windows Azure
+// platform, together with the paper's complete measurement harness.
+//
+// The library lives under internal/: the simulation kernel (sim), the
+// datacenter and fabric controller (fabric), the flow-level network
+// (netsim), the three storage services (storage/...), the client SDK
+// (azure), the measurement framework (core), and the ModisAzure application
+// (modis). Executables live under cmd/, runnable examples under examples/,
+// and bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation.
+package azureobs

@@ -1,0 +1,148 @@
+// Autoscale: the Section 6.2 trade-off, quantified. A load spike arrives;
+// we compare three provisioning strategies for absorbing it:
+//
+//   - cold scale-out: request new instances when the backlog appears and
+//     wait the ~10-minute startup the paper measures (Table 1's Add phase
+//     averages 17 min for small workers);
+//   - hot standby: instances already running (and billed) before the spike;
+//   - no scaling: ride out the spike with the base fleet.
+//
+// The output shows the backlog drain time and the instance-hours each
+// strategy burns — the economic trade the paper's recommendation describes.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+)
+
+const (
+	baseWorkers  = 2
+	extraWorkers = 6
+	spikeTasks   = 120
+	taskDuration = 90 * time.Second
+)
+
+func main() {
+	fmt.Printf("load spike: %d tasks x %v, base fleet %d workers, %d extra on demand\n\n",
+		spikeTasks, taskDuration, baseWorkers, extraWorkers)
+	for _, strategy := range []string{"no-scaling", "cold-scale-out", "hot-standby"} {
+		drain, instanceHours := simulate(strategy)
+		fmt.Printf("%-15s backlog drained in %8v, %6.2f instance-hours\n",
+			strategy, drain.Round(time.Second), instanceHours)
+	}
+	fmt.Println("\ncold scale-out pays the paper's ~10-minute startup before the extra")
+	fmt.Println("instances contribute; hot standby pays for idle capacity instead.")
+}
+
+func simulate(strategy string) (drain time.Duration, instanceHours float64) {
+	cfg := azure.Config{Seed: 11}
+	cfg.Fabric = fabric.DefaultConfig()
+	cfg.Fabric.Degradation = false
+	cloud := azure.NewCloud(cfg)
+	mgmt := cloud.Management()
+
+	queue := cloud.Queue.CreateQueue("work")
+	var completed int
+	var drainedAt time.Duration
+
+	worker := func(vm *fabric.VM) func(p *sim.Proc) {
+		return func(p *sim.Proc) {
+			for completed < spikeTasks {
+				_, receipt, ok, err := cloud.Queue.Receive(p, queue, 10*time.Minute)
+				if err != nil {
+					panic(err)
+				}
+				if !ok {
+					p.Sleep(5 * time.Second)
+					continue
+				}
+				if err := cloud.Queue.Delete(p, queue, receipt); err != nil {
+					panic(err)
+				}
+				vm.Execute(p, taskDuration)
+				completed++
+				if completed == spikeTasks {
+					drainedAt = p.Now()
+				}
+			}
+		}
+	}
+
+	// Base fleet runs from t=0; the spike hits at t=60s.
+	base := cloud.Controller.ReadyFleet(baseWorkers, fabric.Worker, fabric.Small)
+	for _, vm := range base {
+		cloud.Engine.Spawn("base", worker(vm))
+	}
+	const spikeAt = 60 * time.Second
+	cloud.Engine.Spawn("spike", func(p *sim.Proc) {
+		p.SleepUntil(spikeAt)
+		for i := 0; i < spikeTasks; i++ {
+			if _, err := cloud.Queue.Add(p, queue, fmt.Sprintf("t%d", i), 512); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	extraRunning := time.Duration(0) // when the extra fleet came online
+	switch strategy {
+	case "hot-standby":
+		for _, vm := range cloud.Controller.ReadyFleet(extraWorkers, fabric.Worker, fabric.Small) {
+			cloud.Engine.Spawn("standby", worker(vm))
+		}
+	case "cold-scale-out":
+		cloud.Engine.Spawn("scaler", func(p *sim.Proc) {
+			p.SleepUntil(spikeAt) // react to the spike
+			// Deploy and start a fresh worker deployment; retry the 2.6%
+			// startup failures as a production controller must.
+			for {
+				d, _, err := mgmt.Deploy(p, fabric.DeploymentSpec{
+					Name: "burst", Role: fabric.Worker, Size: fabric.Small,
+					Instances: extraWorkers,
+				})
+				if err != nil {
+					panic(err)
+				}
+				if _, _, _, err := mgmt.Run(p, d); err != nil {
+					if errors.Is(err, fabric.ErrStartupFailed) {
+						if _, err := mgmt.Delete(p, d); err != nil {
+							panic(err)
+						}
+						continue
+					}
+					panic(err)
+				}
+				extraRunning = p.Now()
+				for _, vm := range d.VMs() {
+					cloud.Engine.Spawn("burst", worker(vm))
+				}
+				return
+			}
+		})
+	}
+
+	cloud.Engine.RunUntil(6 * time.Hour)
+	if drainedAt == 0 {
+		drainedAt = cloud.Engine.Now()
+	}
+	drain = drainedAt - spikeAt
+
+	// Instance-hours billed until the backlog drained.
+	instanceHours = float64(baseWorkers) * drainedAt.Hours()
+	switch strategy {
+	case "hot-standby":
+		instanceHours += float64(extraWorkers) * drainedAt.Hours()
+	case "cold-scale-out":
+		if extraRunning > 0 && drainedAt > extraRunning {
+			instanceHours += float64(extraWorkers) * (drainedAt - extraRunning).Hours()
+		}
+	}
+	return drain, instanceHours
+}

@@ -1,0 +1,164 @@
+// Bag-of-tasks: the Section 5.2 reliability lesson, reproduced in miniature.
+// A fleet of workers executes tasks on a cloud whose hosts occasionally
+// degrade 4-6x. Two task-management strategies run on identical workloads:
+//
+//   - visibility-only: rely on the queue's automatic message reappearance
+//     (ModisAzure's first design). Slow tasks overrun their visibility
+//     window, a second worker picks the task up, and the first worker's
+//     eventual completion wastes work — or worse, corrupts output (observed
+//     here as stale-receipt conflicts).
+//
+//   - monitor+retry: ModisAzure's final design. A task monitor kills any
+//     execution exceeding 4x the task's expected time and explicitly
+//     re-queues it; receipts never go stale.
+//
+//     go run ./examples/bagoftasks
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/storerr"
+)
+
+const (
+	workers    = 16
+	tasks      = 400
+	meanWork   = 5 * time.Minute
+	visibility = 8 * time.Minute // < 4x mean: slow tasks overrun it
+)
+
+func main() {
+	fmt.Printf("bag of tasks: %d tasks x ~%v on %d workers; degraded hosts run 4-6x slower\n\n",
+		tasks, meanWork, workers)
+	for _, strategy := range []string{"visibility-only", "monitor+retry"} {
+		r := run(strategy)
+		fmt.Printf("%-16s makespan %8v  executions %4d  duplicates %3d  stale-receipt conflicts %3d  killed %3d\n",
+			strategy, r.makespan.Round(time.Second), r.executions, r.duplicates, r.conflicts, r.killed)
+	}
+	fmt.Println("\nvisibility-only wastes whole duplicated executions once a slow task")
+	fmt.Println("overruns its window; the 4x monitor caps the damage at the kill threshold.")
+}
+
+type result struct {
+	makespan                      time.Duration
+	executions                    int
+	duplicates, conflicts, killed int
+}
+
+func run(strategy string) result {
+	cfg := azure.Config{Seed: 23}
+	cfg.Fabric = fabric.DefaultConfig()
+	// Aggressive degradation so the hazard shows up in a small run.
+	cfg.Fabric.DegradationConfig = &fabric.DegradationConfig{
+		MeanInterarrival: 90 * time.Minute,
+		FracLo:           0.2, FracHi: 0.4,
+		SlowLo: 4, SlowHi: 6,
+		DurLo: 30 * time.Minute, DurHi: 2 * time.Hour,
+	}
+	cloud := azure.NewCloud(cfg)
+	queue := cloud.Queue.CreateQueue("tasks")
+	rng := simrand.New(99)
+
+	// One fixed workload for both strategies: task i has work[i].
+	work := make([]time.Duration, tasks)
+	for i := range work {
+		work[i] = simrand.Duration(simrand.LogNormalMeanCV(meanWork.Seconds(), 0.4), rng)
+	}
+	completedBy := make([]int, tasks) // how many executions completed task i
+	var res result
+	var doneAt time.Duration
+
+	cloud.Engine.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < tasks; i++ {
+			if _, err := cloud.Queue.Add(p, queue, fmt.Sprint(i), 512); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	allDone := func() bool {
+		for _, c := range completedBy {
+			if c == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	vms := cloud.Controller.ReadyFleet(workers, fabric.Worker, fabric.Small)
+	for w, vm := range vms {
+		vm := vm
+		wrng := simrand.New(uint64(1000 + w))
+		cloud.Engine.Spawn(fmt.Sprintf("w%d", w), func(p *sim.Proc) {
+			// Under monitor+retry the monitor is the retry mechanism, so the
+			// visibility window is set long (as ModisAzure's final design
+			// did); under visibility-only it is deliberately tight.
+			vis := visibility
+			if strategy == "monitor+retry" {
+				vis = 2 * time.Hour
+			}
+			for !allDone() {
+				msg, receipt, ok, err := cloud.Queue.Receive(p, queue, vis)
+				if err != nil {
+					panic(err)
+				}
+				if !ok {
+					p.Sleep(10 * time.Second)
+					continue
+				}
+				var id int
+				fmt.Sscan(msg.Body, &id)
+				res.executions++
+				if completedBy[id] > 0 {
+					res.duplicates++ // task already finished by someone else
+				}
+
+				dilated := time.Duration(float64(work[id]) * vm.Host.Slowdown() *
+					simrand.LogNormalMeanCV(1, 0.05).Sample(wrng))
+				if strategy == "monitor+retry" {
+					threshold := 4 * work[id]
+					if dilated > threshold {
+						// The monitor kills the execution and re-queues
+						// explicitly; the receipt is still fresh.
+						p.Sleep(threshold)
+						res.killed++
+						if err := cloud.Queue.Delete(p, queue, receipt); err != nil {
+							res.conflicts++
+						}
+						if _, err := cloud.Queue.Add(p, queue, msg.Body, 512); err != nil {
+							panic(err)
+						}
+						continue
+					}
+				}
+				p.Sleep(dilated)
+				// Completion: delete the message. Under visibility-only, a
+				// slow execution finds its receipt stale — the hazard.
+				if err := cloud.Queue.Delete(p, queue, receipt); err != nil {
+					if storerr.IsCode(err, storerr.CodeConflict) || storerr.IsCode(err, storerr.CodeNotFound) {
+						res.conflicts++
+					} else {
+						panic(err)
+					}
+				}
+				completedBy[id]++
+				if doneAt == 0 && allDone() {
+					doneAt = p.Now()
+				}
+			}
+		})
+	}
+
+	cloud.Engine.RunUntil(24 * time.Hour)
+	res.makespan = doneAt
+	if doneAt == 0 {
+		res.makespan = 24 * time.Hour // did not finish within the horizon
+	}
+	return res
+}

@@ -1,0 +1,85 @@
+// Quickstart: assemble a simulated Windows Azure cloud, deploy a worker
+// fleet, and push work through all three storage services — the smallest
+// end-to-end tour of the azureobs API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+)
+
+func main() {
+	// A cloud is a deterministic simulation: same seed, same run.
+	cfg := azure.Config{Seed: 7}
+	cfg.Fabric = fabric.DefaultConfig()
+	cloud := azure.NewCloud(cfg)
+
+	// Provision a small worker fleet (bypassing the ~10-minute startup the
+	// paper measures; see examples/autoscale for the honest version).
+	vms := cloud.Controller.ReadyFleet(4, fabric.Worker, fabric.Small)
+
+	// A producer uploads an input blob and enqueues one task per worker.
+	producer := cloud.NewClient(vms[0], 0)
+	producer.CreateContainer("inputs")
+	queue := producer.CreateQueue("tasks")
+
+	cloud.Engine.Spawn("producer", func(p *sim.Proc) {
+		if err := producer.PutBlob(p, "inputs", "dataset", 100_000_000, false); err != nil {
+			panic(err)
+		}
+		fmt.Printf("[%8v] producer: uploaded 100 MB dataset\n", p.Now().Round(time.Millisecond))
+		for i := 0; i < 4; i++ {
+			if _, err := producer.AddMessage(p, queue, fmt.Sprintf("task-%d", i), 512); err != nil {
+				panic(err)
+			}
+		}
+		fmt.Printf("[%8v] producer: enqueued 4 tasks\n", p.Now().Round(time.Millisecond))
+	})
+
+	// Each worker receives a task, downloads the dataset (sharing the blob
+	// service's bandwidth, exactly as in the paper's Fig. 1), computes, and
+	// reports.
+	done := 0
+	for i, vm := range vms {
+		worker := cloud.NewClient(vm, i+1)
+		name := fmt.Sprintf("worker-%d", i)
+		cloud.Engine.Spawn(name, func(p *sim.Proc) {
+			// Wait for a task (poll with backoff, like a real worker role).
+			var body string
+			for {
+				msg, receipt, ok, err := worker.ReceiveMessage(p, queue, time.Minute)
+				if err != nil {
+					panic(err)
+				}
+				if ok {
+					body = msg.Body
+					if err := worker.DeleteMessage(p, queue, receipt); err != nil {
+						panic(err)
+					}
+					break
+				}
+				p.Sleep(2 * time.Second)
+			}
+			start := p.Now()
+			n, err := worker.GetBlob(p, "inputs", "dataset")
+			if err != nil {
+				panic(err)
+			}
+			dl := p.Now() - start
+			fmt.Printf("[%8v] %s: got %s, downloaded %d MB in %v (%.1f MB/s)\n",
+				p.Now().Round(time.Millisecond), name, body, n/1_000_000,
+				dl.Round(time.Millisecond), float64(n)/1e6/dl.Seconds())
+			vm.Execute(p, 30*time.Second) // simulate computation
+			done++
+		})
+	}
+
+	cloud.Engine.Run()
+	fmt.Printf("\nall %d tasks completed at virtual time %v\n", done, cloud.Engine.Now().Round(time.Millisecond))
+}

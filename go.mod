@@ -1,0 +1,3 @@
+module azureobs
+
+go 1.22

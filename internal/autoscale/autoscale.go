@@ -1,0 +1,237 @@
+// Package autoscale implements a startup-aware reactive scaling controller
+// for simulated Azure deployments — the operational counterpart of the
+// paper's Section 6.2 recommendation: dynamic scale-out works, but every
+// added instance arrives ~10 minutes after it is requested (Table 1), so a
+// controller must account for in-flight capacity and, when latency matters,
+// keep hot standbys.
+//
+// The controller watches a work backlog (a queue length probe), compares it
+// against the fleet's drain capability, and grows or shrinks a worker
+// deployment between configured bounds. Capacity that has been requested
+// but is still starting counts toward the plan, which prevents the classic
+// over-provisioning spiral during the startup window.
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/sim"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Min and Max bound the worker count.
+	Min, Max int
+	// TargetBacklogPerWorker is the backlog the controller tolerates per
+	// running worker before scaling out.
+	TargetBacklogPerWorker float64
+	// EvalInterval is the control loop period.
+	EvalInterval time.Duration
+	// ScaleInIdleEvals is how many consecutive under-loaded evaluations are
+	// required before scaling in (hysteresis).
+	ScaleInIdleEvals int
+	// Standby keeps this many workers above the computed need — the hot
+	// standby option; 0 is pure reactive.
+	Standby int
+	// Step bounds how many instances one scale-out adds.
+	Step int
+}
+
+// DefaultConfig returns a conservative controller.
+func DefaultConfig() Config {
+	return Config{
+		Min:                    1,
+		Max:                    20,
+		TargetBacklogPerWorker: 4,
+		EvalInterval:           time.Minute,
+		ScaleInIdleEvals:       5,
+		Step:                   4,
+	}
+}
+
+// Decision records one control action, for inspection and tests.
+type Decision struct {
+	At      time.Duration
+	Backlog int
+	Running int
+	Pending int
+	Delta   int // requested change (+ out, − in, 0 hold)
+}
+
+// Controller runs the scaling loop.
+type Controller struct {
+	cloud *azure.Cloud
+	cfg   Config
+
+	// Backlog reports the current queued work items.
+	Backlog func() int
+	// OnReady is called for each instance that becomes available; the
+	// application attaches its worker loop there.
+	OnReady func(vm *fabric.VM)
+	// OnRetire is called when an instance is being scaled in; the
+	// application must stop using it.
+	OnRetire func(vm *fabric.VM)
+
+	running []*fabric.VM
+	pending int // instances requested but not yet ready
+	idle    int // consecutive under-loaded evaluations
+
+	Decisions []Decision
+	// InstanceSeconds accumulates billed capacity (running instances
+	// integrated over time).
+	InstanceSeconds float64
+	// BacklogSeries samples the backlog each evaluation.
+	BacklogSeries metrics.TimeSeries
+
+	stopped bool
+}
+
+// New creates a controller. Backlog, OnReady and OnRetire must be set
+// before Start.
+func New(cloud *azure.Cloud, cfg Config) *Controller {
+	if cfg.Min < 0 || cfg.Max < cfg.Min {
+		panic(fmt.Sprintf("autoscale: bad bounds [%d,%d]", cfg.Min, cfg.Max))
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	if cfg.EvalInterval <= 0 {
+		cfg.EvalInterval = time.Minute
+	}
+	return &Controller{cloud: cloud, cfg: cfg}
+}
+
+// Running returns the currently usable worker count.
+func (c *Controller) Running() int { return len(c.running) }
+
+// Pending returns instances requested but still starting.
+func (c *Controller) Pending() int { return c.pending }
+
+// Stop ends the control loop at its next evaluation.
+func (c *Controller) Stop() { c.stopped = true }
+
+// Start launches the controller as a daemon process: it provisions the
+// initial fleet (Min + Standby) and then runs the evaluation loop until
+// Stop.
+func (c *Controller) Start() {
+	if c.Backlog == nil || c.OnReady == nil || c.OnRetire == nil {
+		panic("autoscale: Backlog/OnReady/OnRetire must be set")
+	}
+	c.cloud.Engine.SpawnDaemon("autoscaler", func(p *sim.Proc) {
+		c.provision(p, c.cfg.Min+c.cfg.Standby)
+		last := p.Now()
+		for !c.stopped {
+			p.Sleep(c.cfg.EvalInterval)
+			c.InstanceSeconds += float64(len(c.running)) * (p.Now() - last).Seconds()
+			last = p.Now()
+			c.evaluate(p)
+		}
+	})
+}
+
+// evaluate runs one control decision.
+func (c *Controller) evaluate(p *sim.Proc) {
+	backlog := c.Backlog()
+	c.BacklogSeries.Add(p.Now(), float64(backlog))
+	capacityPlanned := len(c.running) + c.pending
+	need := int(float64(backlog)/c.cfg.TargetBacklogPerWorker+0.999) + c.cfg.Standby
+	if need < c.cfg.Min+c.cfg.Standby {
+		need = c.cfg.Min + c.cfg.Standby
+	}
+	if need > c.cfg.Max {
+		need = c.cfg.Max
+	}
+	delta := 0
+	switch {
+	case need > capacityPlanned:
+		delta = need - capacityPlanned
+		if delta > c.cfg.Step {
+			delta = c.cfg.Step
+		}
+		c.idle = 0
+		c.provisionAsync(p, delta)
+	case need < len(c.running) && c.pending == 0:
+		c.idle++
+		if c.idle >= c.cfg.ScaleInIdleEvals {
+			delta = -(len(c.running) - need)
+			c.retire(-delta)
+			c.idle = 0
+		}
+	default:
+		c.idle = 0
+	}
+	c.Decisions = append(c.Decisions, Decision{
+		At: p.Now(), Backlog: backlog, Running: len(c.running),
+		Pending: c.pending, Delta: delta,
+	})
+}
+
+// provision blocks until n instances are ready (used for the initial fleet).
+func (c *Controller) provision(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	vms := c.startDeployment(p, n)
+	for _, vm := range vms {
+		c.running = append(c.running, vm)
+		c.OnReady(vm)
+	}
+}
+
+// provisionAsync requests n instances without blocking the control loop:
+// the startup happens on a separate process and the capacity is counted as
+// pending until ready — the Table 1 run time made this distinction matter.
+func (c *Controller) provisionAsync(p *sim.Proc, n int) {
+	c.pending += n
+	c.cloud.Engine.SpawnDaemon("scale-out", func(q *sim.Proc) {
+		vms := c.startDeployment(q, n)
+		c.pending -= n
+		if c.stopped {
+			return
+		}
+		for _, vm := range vms {
+			c.running = append(c.running, vm)
+			c.OnReady(vm)
+		}
+	})
+}
+
+// startDeployment creates and runs a deployment, retrying startup failures.
+func (c *Controller) startDeployment(p *sim.Proc, n int) []*fabric.VM {
+	mgmt := c.cloud.Management()
+	for attempt := 0; ; attempt++ {
+		d, _, err := mgmt.Deploy(p, fabric.DeploymentSpec{
+			Name:      fmt.Sprintf("scale-%d-%d", p.Now()/time.Second, attempt),
+			Role:      fabric.Worker,
+			Size:      fabric.Small,
+			Instances: n,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if _, _, _, err := mgmt.Run(p, d); err != nil {
+			if errors.Is(err, fabric.ErrStartupFailed) {
+				if _, derr := mgmt.Delete(p, d); derr != nil {
+					panic(derr)
+				}
+				continue
+			}
+			panic(err)
+		}
+		return d.VMs()
+	}
+}
+
+// retire removes n workers from the tail of the fleet.
+func (c *Controller) retire(n int) {
+	for i := 0; i < n && len(c.running) > 0; i++ {
+		vm := c.running[len(c.running)-1]
+		c.running = c.running[:len(c.running)-1]
+		c.OnRetire(vm)
+	}
+}

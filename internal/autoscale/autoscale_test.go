@@ -1,0 +1,202 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+)
+
+// harness wires a controller to a synthetic task queue drained by simple
+// workers (1 task/minute each).
+type harness struct {
+	cloud   *azure.Cloud
+	ctl     *Controller
+	backlog int
+	done    int
+	retired map[*fabric.VM]bool
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	ccfg := azure.Config{Seed: 3}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = false
+	cloud := azure.NewCloud(ccfg)
+	cloud.Controller.Quota = 1 << 20 // research-account quota
+	h := &harness{cloud: cloud, retired: map[*fabric.VM]bool{}}
+	h.ctl = New(cloud, cfg)
+	h.ctl.Backlog = func() int { return h.backlog }
+	h.ctl.OnRetire = func(vm *fabric.VM) { h.retired[vm] = true }
+	h.ctl.OnReady = func(vm *fabric.VM) {
+		cloud.Engine.SpawnDaemon("worker", func(p *sim.Proc) {
+			for !h.retired[vm] {
+				if h.backlog > 0 {
+					h.backlog--
+					vm.Execute(p, time.Minute)
+					h.done++
+				} else {
+					p.Sleep(10 * time.Second)
+				}
+			}
+		})
+	}
+	return h
+}
+
+func TestScaleOutOnBurst(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Min, cfg.Max, cfg.Step = 2, 16, 8
+	h := newHarness(t, cfg)
+	h.ctl.Start()
+	h.cloud.Engine.Schedule(30*time.Minute, func() { h.backlog += 200 })
+	h.cloud.Engine.RunUntil(3 * time.Hour)
+
+	if h.done < 200 {
+		t.Fatalf("only %d/200 tasks done after 3h", h.done)
+	}
+	sawScaleOut, peakRunning := false, 0
+	for _, d := range h.ctl.Decisions {
+		if d.Delta > 0 {
+			sawScaleOut = true
+			if d.Delta > cfg.Step {
+				t.Fatalf("scale-out step %d exceeds configured %d", d.Delta, cfg.Step)
+			}
+		}
+		if d.Running > peakRunning {
+			peakRunning = d.Running
+		}
+		if d.Running+d.Pending > cfg.Max {
+			t.Fatalf("planned capacity %d exceeds Max %d", d.Running+d.Pending, cfg.Max)
+		}
+	}
+	if !sawScaleOut {
+		t.Fatal("no scale-out decision recorded")
+	}
+	if peakRunning <= cfg.Min {
+		t.Fatalf("fleet never grew past Min: peak %d", peakRunning)
+	}
+	// After the burst the controller returns to Min (scale-in works end to
+	// end in the same scenario).
+	if h.ctl.Running() != cfg.Min {
+		t.Fatalf("fleet = %d at the end, want Min=%d", h.ctl.Running(), cfg.Min)
+	}
+}
+
+func TestPendingCapacityPreventsOvershoot(t *testing.T) {
+	// With a ~10-minute startup and 1-minute evaluations, a controller that
+	// ignored pending capacity would request more instances on every
+	// evaluation of the same backlog. Ours must not: while the first
+	// scale-out is starting, further evaluations of an unchanged need hold.
+	cfg := DefaultConfig()
+	cfg.Min, cfg.Max, cfg.Step = 1, 40, 4
+	cfg.TargetBacklogPerWorker = 10
+	h := newHarness(t, cfg)
+	h.ctl.Start()
+	h.cloud.Engine.Schedule(10*time.Minute, func() { h.backlog += 35 }) // need ≈ 4 workers
+	h.cloud.Engine.RunUntil(25 * time.Minute)
+
+	requested := 0
+	for _, d := range h.ctl.Decisions {
+		if d.Delta > 0 {
+			requested += d.Delta
+		}
+	}
+	if requested > 8 {
+		t.Fatalf("requested %d instances for a need of ~4: pending capacity ignored", requested)
+	}
+}
+
+func TestScaleInAfterHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Min, cfg.Max, cfg.Step = 1, 12, 6
+	cfg.ScaleInIdleEvals = 3
+	h := newHarness(t, cfg)
+	h.ctl.Start()
+	h.cloud.Engine.Schedule(10*time.Minute, func() { h.backlog += 100 })
+	h.cloud.Engine.RunUntil(5 * time.Hour)
+
+	if h.ctl.Running() != cfg.Min {
+		t.Fatalf("fleet = %d long after the burst, want Min=%d", h.ctl.Running(), cfg.Min)
+	}
+	if len(h.retired) == 0 {
+		t.Fatal("no instances retired")
+	}
+}
+
+func TestStandbyProvisionsExtra(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Min, cfg.Max, cfg.Standby = 2, 16, 3
+	h := newHarness(t, cfg)
+	h.ctl.Start()
+	h.cloud.Engine.RunUntil(30 * time.Minute)
+	if h.ctl.Running() != cfg.Min+cfg.Standby {
+		t.Fatalf("idle fleet = %d, want Min+Standby = %d", h.ctl.Running(), cfg.Min+cfg.Standby)
+	}
+}
+
+func TestStandbyDrainsBurstFaster(t *testing.T) {
+	drainTime := func(standby int) time.Duration {
+		cfg := DefaultConfig()
+		cfg.Min, cfg.Max, cfg.Standby, cfg.Step = 2, 20, standby, 8
+		h := newHarness(t, cfg)
+		h.ctl.Start()
+		h.cloud.Engine.Schedule(30*time.Minute, func() { h.backlog += 150 })
+		var drained time.Duration
+		h.cloud.Engine.SpawnDaemon("probe", func(p *sim.Proc) {
+			for {
+				p.Sleep(time.Minute)
+				if drained == 0 && p.Now() > 31*time.Minute && h.backlog == 0 {
+					drained = p.Now()
+				}
+			}
+		})
+		h.cloud.Engine.RunUntil(4 * time.Hour)
+		if drained == 0 {
+			t.Fatalf("standby=%d: burst never drained", standby)
+		}
+		return drained
+	}
+	cold := drainTime(0)
+	hot := drainTime(8)
+	if hot >= cold {
+		t.Fatalf("hot standby (%v) not faster than cold (%v)", hot, cold)
+	}
+}
+
+func TestInstanceSecondsAccumulate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Min, cfg.Max = 2, 4
+	h := newHarness(t, cfg)
+	h.ctl.Start()
+	h.cloud.Engine.RunUntil(2 * time.Hour)
+	// 2 workers × ~2 h ≈ 14400 instance-seconds (minus startup).
+	if h.ctl.InstanceSeconds < 10000 || h.ctl.InstanceSeconds > 15000 {
+		t.Fatalf("instance-seconds = %.0f, want ~14000", h.ctl.InstanceSeconds)
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Min = 1
+	h := newHarness(t, cfg)
+	h.ctl.Start()
+	h.cloud.Engine.Schedule(30*time.Minute, func() { h.ctl.Stop() })
+	h.cloud.Engine.RunUntil(2 * time.Hour)
+	n := len(h.ctl.Decisions)
+	h.cloud.Engine.RunUntil(3 * time.Hour)
+	if len(h.ctl.Decisions) != n {
+		t.Fatal("controller kept deciding after Stop")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bounds accepted")
+		}
+	}()
+	New(nil, Config{Min: 5, Max: 2})
+}

@@ -1,0 +1,170 @@
+package azure
+
+import (
+	"testing"
+	"time"
+
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/storerr"
+)
+
+func TestBlobCacheHitsAndMisses(t *testing.T) {
+	c := newCloud()
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	c.Blob.Seed("d", "b", 65_000_000)
+	cache := cl.NewBlobCache(500_000_000)
+	var missDur, hitDur time.Duration
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		t0 := p.Now()
+		_, hit, err := cache.Get(p, "d", "b")
+		if err != nil || hit {
+			t.Errorf("first get: hit=%v err=%v", hit, err)
+		}
+		missDur = p.Now() - t0
+		t0 = p.Now()
+		_, hit, err = cache.Get(p, "d", "b")
+		if err != nil || !hit {
+			t.Errorf("second get: hit=%v err=%v", hit, err)
+		}
+		hitDur = p.Now() - t0
+	})
+	c.Engine.Run()
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", cache.Hits(), cache.Misses())
+	}
+	// Miss: 65 MB at 13 MB/s ≈ 5 s. Hit: 65 MB at 50 MB/s ≈ 1.3 s.
+	if hitDur*3 > missDur {
+		t.Fatalf("cache hit (%v) not much faster than miss (%v)", hitDur, missDur)
+	}
+}
+
+func TestBlobCacheLRUEviction(t *testing.T) {
+	c := newCloud()
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	for _, n := range []string{"a", "b", "c"} {
+		c.Blob.Seed("d", n, 40_000_000)
+	}
+	cache := cl.NewBlobCache(100_000_000) // fits two blobs
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		get := func(n string) bool {
+			_, hit, err := cache.Get(p, "d", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return hit
+		}
+		get("a")
+		get("b")
+		get("c") // evicts a (LRU)
+		if get("a") {
+			t.Error("a should have been evicted")
+		}
+		// Now b evicted (c then a are fresher).
+		if get("c") == false {
+			t.Error("c should still be cached")
+		}
+	})
+	c.Engine.Run()
+	if cache.Used() > 100_000_000 {
+		t.Fatalf("cache over capacity: %d", cache.Used())
+	}
+}
+
+func TestBlobCacheOversizeNotCached(t *testing.T) {
+	c := newCloud()
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	c.Blob.Seed("d", "huge", 200_000_000)
+	cache := cl.NewBlobCache(100_000_000)
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		_, _, _ = cache.Get(p, "d", "huge")
+		_, hit, _ := cache.Get(p, "d", "huge")
+		if hit {
+			t.Error("oversize blob was cached")
+		}
+	})
+	c.Engine.Run()
+}
+
+func TestBlobCacheInvalidate(t *testing.T) {
+	c := newCloud()
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	c.Blob.Seed("d", "b", 1_000_000)
+	cache := cl.NewBlobCache(10_000_000)
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		_, _, _ = cache.Get(p, "d", "b")
+		cache.Invalidate("d", "b")
+		_, hit, _ := cache.Get(p, "d", "b")
+		if hit {
+			t.Error("invalidated entry still hit")
+		}
+	})
+	c.Engine.Run()
+	if cache.Used() != 1_000_000 {
+		t.Fatalf("used = %d after re-fetch, want 1MB", cache.Used())
+	}
+}
+
+func TestBlobCacheMissPropagatesError(t *testing.T) {
+	c := newCloud()
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	c.Blob.CreateContainer("d")
+	cache := cl.NewBlobCache(10_000_000)
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		_, _, err := cache.Get(p, "d", "ghost")
+		if !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	c.Engine.Run()
+	if cache.Used() != 0 {
+		t.Fatal("failed get left bytes in cache")
+	}
+}
+
+func TestParallelGetBeatsSingleConnection(t *testing.T) {
+	c := newCloud()
+	vms := c.Controller.ReadyFleet(2, fabric.Worker, fabric.Small)
+	c.Blob.Seed("d", "big", 130_000_000)
+	cl := c.NewClient(vms[0], 0)
+	var single, quad time.Duration
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		t0 := p.Now()
+		if _, err := cl.GetBlob(p, "d", "big"); err != nil {
+			t.Error(err)
+		}
+		single = p.Now() - t0
+		t0 = p.Now()
+		if _, err := cl.ParallelGet(p, "d", "big", 4); err != nil {
+			t.Error(err)
+		}
+		quad = p.Now() - t0
+	})
+	c.Engine.Run()
+	// 130 MB: single connection ≈ 10 s at 13 MB/s; 4 connections ≈ 2.5 s.
+	if quad*2 > single {
+		t.Fatalf("parallel get (%v) not ≪ single (%v)", quad, single)
+	}
+}
+
+func TestParallelGetSingleConnFallback(t *testing.T) {
+	c := newCloud()
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	c.Blob.Seed("d", "b", 10_000_000)
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		n, err := cl.ParallelGet(p, "d", "b", 1)
+		if err != nil || n != 10_000_000 {
+			t.Errorf("fallback = %d, %v", n, err)
+		}
+		if _, err := cl.ParallelGet(p, "d", "ghost", 4); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("missing blob = %v", err)
+		}
+	})
+	c.Engine.Run()
+}

@@ -1,0 +1,162 @@
+package azure
+
+import (
+	"time"
+
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/blobsvc"
+	"azureobs/internal/storage/queuesvc"
+	"azureobs/internal/storage/tablesvc"
+)
+
+// Client is a per-VM storage client. All operations block the calling
+// process for the simulated service latency and return typed storage errors
+// (package storerr) on failure.
+type Client struct {
+	cloud *Cloud
+	vm    *fabric.VM
+	blob  *blobsvc.Session
+	rng   *simrand.RNG
+
+	// onOp, when set, observes every completed storage operation — the
+	// client-side instrumentation hook applications use to build the
+	// Section 6.3 monitoring infrastructure.
+	onOp func(op string, d time.Duration, err error)
+}
+
+// SetRecorder installs an observer called after every storage operation
+// with its name, simulated latency and outcome. Pass nil to remove it.
+func (cl *Client) SetRecorder(fn func(op string, d time.Duration, err error)) { cl.onOp = fn }
+
+// observe wraps an operation with latency recording.
+func observe[T any](cl *Client, p *sim.Proc, op string, fn func() (T, error)) (T, error) {
+	start := p.Now()
+	v, err := fn()
+	if cl.onOp != nil {
+		cl.onOp(op, p.Now()-start, err)
+	}
+	return v, err
+}
+
+// VM returns the instance the client runs on.
+func (cl *Client) VM() *fabric.VM { return cl.vm }
+
+// Cloud returns the client's cloud.
+func (cl *Client) Cloud() *Cloud { return cl.cloud }
+
+// --- Blob API ---
+
+// CreateContainer creates a blob container if it does not exist.
+func (cl *Client) CreateContainer(name string) { cl.cloud.Blob.CreateContainer(name) }
+
+// GetBlob downloads a blob in full and returns its size.
+func (cl *Client) GetBlob(p *sim.Proc, container, name string) (int64, error) {
+	return observe(cl, p, "blob.Get", func() (int64, error) {
+		return cl.blob.Get(p, container, name)
+	})
+}
+
+// PutBlob uploads a blob. With overwrite false an existing name fails with
+// CodeBlobExists.
+func (cl *Client) PutBlob(p *sim.Proc, container, name string, size int64, overwrite bool) error {
+	_, err := observe(cl, p, "blob.Put", func() (struct{}, error) {
+		return struct{}{}, cl.blob.Put(p, container, name, size, overwrite)
+	})
+	return err
+}
+
+// BlobExists checks existence.
+func (cl *Client) BlobExists(p *sim.Proc, container, name string) (bool, error) {
+	return cl.blob.Exists(p, container, name)
+}
+
+// DeleteBlob removes a blob.
+func (cl *Client) DeleteBlob(p *sim.Proc, container, name string) error {
+	return cl.blob.Delete(p, container, name)
+}
+
+// --- Table API ---
+
+// CreateTable creates a table if it does not exist.
+func (cl *Client) CreateTable(name string) { cl.cloud.Table.CreateTable(name) }
+
+// InsertEntity inserts a new entity.
+func (cl *Client) InsertEntity(p *sim.Proc, table string, e *tablesvc.Entity) error {
+	_, err := observe(cl, p, "table.Insert", func() (struct{}, error) {
+		return struct{}{}, cl.cloud.Table.Insert(p, table, e)
+	})
+	return err
+}
+
+// GetEntity queries one entity by partition and row key (the indexed path).
+func (cl *Client) GetEntity(p *sim.Proc, table, pk, rk string) (*tablesvc.Entity, error) {
+	return observe(cl, p, "table.Query", func() (*tablesvc.Entity, error) {
+		return cl.cloud.Table.Get(p, table, pk, rk)
+	})
+}
+
+// UpdateEntity replaces an entity unconditionally.
+func (cl *Client) UpdateEntity(p *sim.Proc, table string, e *tablesvc.Entity) error {
+	return cl.cloud.Table.Update(p, table, e)
+}
+
+// DeleteEntity removes an entity.
+func (cl *Client) DeleteEntity(p *sim.Proc, table, pk, rk string) error {
+	return cl.cloud.Table.Delete(p, table, pk, rk)
+}
+
+// QueryEntities scans a partition with a property filter (the non-indexed
+// path the paper warns about).
+func (cl *Client) QueryEntities(p *sim.Proc, table, pk string, pred func(*tablesvc.Entity) bool) ([]*tablesvc.Entity, error) {
+	return cl.cloud.Table.QueryFilter(p, table, pk, pred)
+}
+
+// --- Queue API ---
+
+// CreateQueue creates (or fetches) a queue.
+func (cl *Client) CreateQueue(name string) *queuesvc.Queue {
+	return cl.cloud.Queue.CreateQueue(name)
+}
+
+// AddMessage enqueues a message body padded to size bytes.
+func (cl *Client) AddMessage(p *sim.Proc, q *queuesvc.Queue, body string, size int) (uint64, error) {
+	return observe(cl, p, "queue.Add", func() (uint64, error) {
+		return cl.cloud.Queue.Add(p, q, body, size)
+	})
+}
+
+// PeekMessage returns the first visible message without state change.
+func (cl *Client) PeekMessage(p *sim.Proc, q *queuesvc.Queue) (*queuesvc.Message, bool, error) {
+	return cl.cloud.Queue.Peek(p, q)
+}
+
+// ReceiveMessage pops the first visible message, hiding it for the
+// visibility window.
+func (cl *Client) ReceiveMessage(p *sim.Proc, q *queuesvc.Queue, visibility time.Duration) (*queuesvc.Message, queuesvc.Receipt, bool, error) {
+	return cl.cloud.Queue.Receive(p, q, visibility)
+}
+
+// DeleteMessage removes a received message by receipt.
+func (cl *Client) DeleteMessage(p *sim.Proc, q *queuesvc.Queue, r queuesvc.Receipt) error {
+	return cl.cloud.Queue.Delete(p, q, r)
+}
+
+// --- Inter-VM TCP (internal endpoints, Section 4.2) ---
+
+// TCPRoundtrip measures one 1-byte roundtrip to a peer VM over an internal
+// TCP endpoint.
+func (cl *Client) TCPRoundtrip(p *sim.Proc, peer *fabric.VM) time.Duration {
+	d := cl.cloud.DC.TCPLatency(cl.rng)
+	p.Sleep(d)
+	return d
+}
+
+// TCPSend streams size bytes to a peer VM over an internal endpoint and
+// returns the elapsed time. The achievable rate depends on both endpoints'
+// placement quality (Fig. 5).
+func (cl *Client) TCPSend(p *sim.Proc, peer *fabric.VM, size int64) time.Duration {
+	link := cl.cloud.DC.PairBandwidthLink(cl.vm, peer, cl.rng)
+	return cl.cloud.DC.Net().Transfer(p, size, cl.vm.NIC(), link, peer.NIC())
+}

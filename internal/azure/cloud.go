@@ -1,0 +1,87 @@
+// Package azure is the client-facing SDK of the simulated Windows Azure
+// platform: it assembles a whole cloud (compute fabric + the three storage
+// services on a shared network) and exposes per-VM clients mirroring the
+// 2009-era Azure Storage and Service Management APIs, including the error
+// taxonomy and retry policies real applications needed.
+//
+// Everything runs inside a deterministic discrete-event simulation: a Cloud
+// is bound to a sim.Engine, and all operations take the calling sim.Proc.
+package azure
+
+import (
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/blobsvc"
+	"azureobs/internal/storage/queuesvc"
+	"azureobs/internal/storage/sqlsvc"
+	"azureobs/internal/storage/tablesvc"
+)
+
+// Config assembles a cloud. Zero-valued fields take defaults.
+type Config struct {
+	Seed   uint64
+	Fabric fabric.Config
+	Blob   blobsvc.Config
+	Table  tablesvc.Config
+	Queue  queuesvc.Config
+	SQL    sqlsvc.Config
+}
+
+// Cloud is one simulated Windows Azure region: compute fabric plus storage
+// account endpoints.
+type Cloud struct {
+	Engine     *sim.Engine
+	DC         *fabric.Datacenter
+	Controller *fabric.Controller
+	Blob       *blobsvc.Service
+	Table      *tablesvc.Service
+	Queue      *queuesvc.Service
+	SQL        *sqlsvc.Service
+
+	rng *simrand.RNG
+}
+
+// NewCloud builds a cloud on a fresh engine.
+func NewCloud(cfg Config) *Cloud {
+	eng := sim.NewEngine()
+	return NewCloudOn(eng, cfg)
+}
+
+// NewCloudOn builds a cloud on an existing engine.
+func NewCloudOn(eng *sim.Engine, cfg Config) *Cloud {
+	if cfg.Fabric.Hosts == 0 {
+		cfg.Fabric = fabric.DefaultConfig()
+	}
+	rng := simrand.New(cfg.Seed)
+	dc := fabric.New(eng, rng, cfg.Fabric)
+	c := &Cloud{
+		Engine:     eng,
+		DC:         dc,
+		Controller: fabric.NewController(dc),
+		Blob:       blobsvc.New(eng, dc.Net(), rng, cfg.Blob),
+		Table:      tablesvc.New(eng, rng, cfg.Table),
+		Queue:      queuesvc.New(eng, rng, cfg.Queue),
+		SQL:        sqlsvc.New(eng, rng, cfg.SQL),
+		rng:        rng.Fork("cloud"),
+	}
+	return c
+}
+
+// NewClient opens a storage client bound to a VM. Each concurrent client
+// must have its own Client: per-connection bandwidth caps and random streams
+// are per-client state.
+func (c *Cloud) NewClient(vm *fabric.VM, id int) *Client {
+	return &Client{
+		cloud: c,
+		vm:    vm,
+		blob:  c.Blob.NewSession(id),
+		rng:   c.rng.ForkN("client", id),
+	}
+}
+
+// Management returns a management-API client for deployment lifecycle
+// operations.
+func (c *Cloud) Management() *Management {
+	return &Management{cloud: c}
+}

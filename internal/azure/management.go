@@ -1,0 +1,73 @@
+package azure
+
+import (
+	"time"
+
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+)
+
+// Management is the Service Management API client: it drives deployment
+// lifecycle phases and reports their wall-clock timings, exactly as the
+// paper's test program did (Section 4.1).
+type Management struct {
+	cloud *Cloud
+}
+
+// PhaseTimes records the measured duration of each lifecycle phase of one
+// test run.
+type PhaseTimes struct {
+	Create, Run, Add, Suspend, Delete time.Duration
+	// FirstReady and LastReady time the run phase's instance readiness
+	// transitions relative to the run request.
+	FirstReady, LastReady time.Duration
+}
+
+// Deploy performs the create phase and returns the deployment.
+func (m *Management) Deploy(p *sim.Proc, spec fabric.DeploymentSpec) (*fabric.Deployment, time.Duration, error) {
+	start := p.Now()
+	d, err := m.cloud.Controller.CreateDeployment(p, spec)
+	return d, p.Now() - start, err
+}
+
+// Run starts the deployment and reports the phase duration plus instance
+// readiness times.
+func (m *Management) Run(p *sim.Proc, d *fabric.Deployment) (runDur, firstReady, lastReady time.Duration, err error) {
+	start := p.Now()
+	if err = m.cloud.Controller.RunDeployment(p, d); err != nil {
+		return p.Now() - start, 0, 0, err
+	}
+	runDur = p.Now() - start
+	rt := d.ReadyTimes()
+	firstReady, lastReady = rt[0]-start, rt[0]-start
+	for _, t := range rt {
+		if t-start < firstReady {
+			firstReady = t - start
+		}
+		if t-start > lastReady {
+			lastReady = t - start
+		}
+	}
+	return runDur, firstReady, lastReady, nil
+}
+
+// Add grows the deployment by n instances and reports the phase duration.
+func (m *Management) Add(p *sim.Proc, d *fabric.Deployment, n int) (time.Duration, error) {
+	start := p.Now()
+	err := m.cloud.Controller.AddInstances(p, d, n)
+	return p.Now() - start, err
+}
+
+// Suspend stops the deployment and reports the phase duration.
+func (m *Management) Suspend(p *sim.Proc, d *fabric.Deployment) (time.Duration, error) {
+	start := p.Now()
+	err := m.cloud.Controller.SuspendDeployment(p, d)
+	return p.Now() - start, err
+}
+
+// Delete removes the deployment and reports the phase duration.
+func (m *Management) Delete(p *sim.Proc, d *fabric.Deployment) (time.Duration, error) {
+	start := p.Now()
+	err := m.cloud.Controller.DeleteDeployment(p, d)
+	return p.Now() - start, err
+}

@@ -1,0 +1,59 @@
+package azure
+
+import (
+	"time"
+
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/storerr"
+)
+
+// RetryPolicy governs how transient storage errors are retried — the "robust
+// retry mechanisms" the paper's Section 5.2 found indispensable at scale.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (≥ 1).
+	MaxAttempts int
+	// Backoff is the wait before the second attempt.
+	Backoff time.Duration
+	// Multiplier grows the backoff each further attempt (≥ 1).
+	Multiplier float64
+	// MaxBackoff caps the grown backoff (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy mirrors the storage client library's classic
+// exponential policy: 4 attempts, 3 s initial backoff, doubling.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Backoff: 3 * time.Second, Multiplier: 2}
+}
+
+// NoRetry performs exactly one attempt.
+func NoRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+// Do runs op, retrying retryable storage errors per the policy. It returns
+// nil on eventual success, the last error otherwise. Non-retryable errors
+// (conflicts, not-found) return immediately.
+func (rp RetryPolicy) Do(p *sim.Proc, op func() error) error {
+	attempts := rp.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := rp.Backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && backoff > 0 {
+			p.Sleep(backoff)
+			backoff = time.Duration(float64(backoff) * rp.Multiplier)
+			if rp.MaxBackoff > 0 && backoff > rp.MaxBackoff {
+				backoff = rp.MaxBackoff
+			}
+		}
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if !storerr.IsRetryable(err) {
+			return err
+		}
+	}
+	return err
+}

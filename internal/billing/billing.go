@@ -1,0 +1,125 @@
+// Package billing models the February-2010 Windows Azure commercial pricing
+// and the economic reasoning of the paper's Section 5.1: "the cost to store
+// 1 GB for 1 month is nearly the same as it does to run a small VM instance
+// for one hour, so storing intermediate products to conserve computation is
+// a valid strategy as long as the data is used within a month."
+//
+// A Meter accumulates the billable activity of a simulated deployment
+// (instance time, stored byte-months, transactions, egress); the
+// StoreVsRecompute analysis computes the break-even reuse horizon behind
+// ModisAzure's cache-everything design.
+package billing
+
+import (
+	"fmt"
+	"time"
+
+	"azureobs/internal/fabric"
+)
+
+// Rates is a price sheet in USD.
+type Rates struct {
+	SmallVMHour    float64 // per small instance hour; larger sizes scale by cores
+	StorageGBMonth float64 // per GB stored per month
+	TxPer10k       float64 // per 10,000 storage transactions
+	EgressGB       float64 // per GB transferred out
+	IngressGB      float64 // per GB transferred in
+}
+
+// Rates2010 is the Windows Azure price sheet at commercial launch
+// (February 2010, North America / Europe).
+func Rates2010() Rates {
+	return Rates{
+		SmallVMHour:    0.12,
+		StorageGBMonth: 0.15,
+		TxPer10k:       0.01,
+		EgressGB:       0.15,
+		IngressGB:      0.10,
+	}
+}
+
+// month is the billing month used for storage proration.
+const month = 30 * 24 * time.Hour
+
+// gb is a decimal gigabyte.
+const gb = 1e9
+
+// Meter accumulates billable usage.
+type Meter struct {
+	Rates Rates
+
+	vmHours      float64 // small-instance-equivalent hours
+	byteMonths   float64 // bytes × months
+	transactions uint64
+	egressBytes  float64
+	ingressBytes float64
+}
+
+// NewMeter creates a meter with the given price sheet.
+func NewMeter(r Rates) *Meter { return &Meter{Rates: r} }
+
+// ChargeCompute bills an instance of the given size for the duration.
+// Larger sizes bill proportionally to cores, as Azure did.
+func (m *Meter) ChargeCompute(size fabric.Size, d time.Duration) {
+	m.vmHours += d.Hours() * float64(size.Cores())
+}
+
+// ChargeStorage bills bytes held for the duration.
+func (m *Meter) ChargeStorage(bytes int64, d time.Duration) {
+	m.byteMonths += float64(bytes) * (float64(d) / float64(month))
+}
+
+// ChargeTransactions bills n storage operations.
+func (m *Meter) ChargeTransactions(n uint64) { m.transactions += n }
+
+// ChargeEgress bills bytes leaving the datacenter.
+func (m *Meter) ChargeEgress(bytes int64) { m.egressBytes += float64(bytes) }
+
+// ChargeIngress bills bytes entering the datacenter.
+func (m *Meter) ChargeIngress(bytes int64) { m.ingressBytes += float64(bytes) }
+
+// Breakdown itemises the bill.
+type Breakdown struct {
+	Compute, Storage, Transactions, Egress, Ingress float64
+}
+
+// Total sums the bill.
+func (b Breakdown) Total() float64 {
+	return b.Compute + b.Storage + b.Transactions + b.Egress + b.Ingress
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("compute $%.2f + storage $%.2f + tx $%.2f + egress $%.2f + ingress $%.2f = $%.2f",
+		b.Compute, b.Storage, b.Transactions, b.Egress, b.Ingress, b.Total())
+}
+
+// Bill computes the itemised charges.
+func (m *Meter) Bill() Breakdown {
+	return Breakdown{
+		Compute:      m.vmHours * m.Rates.SmallVMHour,
+		Storage:      m.byteMonths / gb * m.Rates.StorageGBMonth,
+		Transactions: float64(m.transactions) / 10000 * m.Rates.TxPer10k,
+		Egress:       m.egressBytes / gb * m.Rates.EgressGB,
+		Ingress:      m.ingressBytes / gb * m.Rates.IngressGB,
+	}
+}
+
+// StoreVsRecompute evaluates the Section 5.1 trade: a product of productGB
+// that costs computeHours of small-instance time to regenerate, reused once
+// after reuseAfter. It returns the cost of keeping it stored until reuse
+// versus recomputing it at reuse time.
+func StoreVsRecompute(r Rates, productGB, computeHours float64, reuseAfter time.Duration) (storeCost, recomputeCost float64) {
+	storeCost = productGB * r.StorageGBMonth * (float64(reuseAfter) / float64(month))
+	recomputeCost = computeHours * r.SmallVMHour
+	return storeCost, recomputeCost
+}
+
+// BreakEvenHorizon returns how long a product can sit in storage before
+// storing it costs more than regenerating it.
+func BreakEvenHorizon(r Rates, productGB, computeHours float64) time.Duration {
+	if productGB <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	months := computeHours * r.SmallVMHour / (productGB * r.StorageGBMonth)
+	return time.Duration(months * float64(month))
+}

@@ -1,0 +1,105 @@
+package billing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"azureobs/internal/fabric"
+)
+
+func TestPaperSection51Claim(t *testing.T) {
+	// "the cost to store 1 GB for 1 month is nearly the same as it does to
+	// run a small VM instance for one hour"
+	r := Rates2010()
+	store, recompute := StoreVsRecompute(r, 1, 1, month)
+	if math.Abs(store-recompute)/recompute > 0.3 {
+		t.Fatalf("store $%.3f vs 1 VM-hour $%.3f: not 'nearly the same'", store, recompute)
+	}
+	// Storing is the better deal within about a month, not much beyond.
+	horizon := BreakEvenHorizon(r, 1, 1)
+	if horizon < 20*24*time.Hour || horizon > 40*24*time.Hour {
+		t.Fatalf("break-even horizon = %v, want ~1 month", horizon)
+	}
+	s2, r2 := StoreVsRecompute(r, 1, 1, month/2)
+	if s2 >= r2 {
+		t.Fatal("storing for half a month should beat recomputing")
+	}
+	s3, r3 := StoreVsRecompute(r, 1, 1, 3*month)
+	if s3 <= r3 {
+		t.Fatal("storing for three months should lose to recomputing")
+	}
+}
+
+func TestMeterCompute(t *testing.T) {
+	m := NewMeter(Rates2010())
+	m.ChargeCompute(fabric.Small, 10*time.Hour)
+	m.ChargeCompute(fabric.ExtraLarge, time.Hour) // 8 cores = 8 small-hours
+	b := m.Bill()
+	want := 18 * 0.12
+	if math.Abs(b.Compute-want) > 1e-9 {
+		t.Fatalf("compute = $%.4f, want $%.4f", b.Compute, want)
+	}
+}
+
+func TestMeterStorageProration(t *testing.T) {
+	m := NewMeter(Rates2010())
+	m.ChargeStorage(2_000_000_000, month/2) // 2 GB for half a month
+	b := m.Bill()
+	if math.Abs(b.Storage-0.15) > 1e-9 {
+		t.Fatalf("storage = $%.4f, want $0.15", b.Storage)
+	}
+}
+
+func TestMeterTransactionsAndTransfer(t *testing.T) {
+	m := NewMeter(Rates2010())
+	m.ChargeTransactions(100000) // 10 × 10k
+	m.ChargeEgress(10_000_000_000)
+	m.ChargeIngress(10_000_000_000)
+	b := m.Bill()
+	if math.Abs(b.Transactions-0.10) > 1e-9 {
+		t.Fatalf("tx = $%.4f", b.Transactions)
+	}
+	if math.Abs(b.Egress-1.5) > 1e-9 || math.Abs(b.Ingress-1.0) > 1e-9 {
+		t.Fatalf("egress/ingress = $%.2f/$%.2f", b.Egress, b.Ingress)
+	}
+	if math.Abs(b.Total()-(0.10+1.5+1.0)) > 1e-9 {
+		t.Fatalf("total = $%.4f", b.Total())
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	m := NewMeter(Rates2010())
+	m.ChargeCompute(fabric.Small, time.Hour)
+	if s := m.Bill().String(); s == "" {
+		t.Fatal("empty breakdown string")
+	}
+}
+
+func TestBreakEvenDegenerate(t *testing.T) {
+	if h := BreakEvenHorizon(Rates2010(), 0, 1); h < 1000*24*time.Hour {
+		t.Fatal("zero-size product should store forever")
+	}
+}
+
+// TestModisEconomics reproduces the design reasoning of Section 5.1 at
+// ModisAzure's parameters: a reprojection product is a few hundred MB and
+// takes several minutes of small-instance compute; its break-even storage
+// horizon comfortably exceeds the inter-request reuse interval, so caching
+// intermediates was the right call.
+func TestModisEconomics(t *testing.T) {
+	r := Rates2010()
+	// ~300 MB product, ~6 min of compute.
+	horizon := BreakEvenHorizon(r, 0.3, 0.1)
+	if horizon < 5*24*time.Hour {
+		t.Fatalf("break-even = %v; caching would not have paid off", horizon)
+	}
+	// But a 4 TB raw dataset (the full decade of MODIS input) is cheaper to
+	// keep than to re-download only because transfer also costs money;
+	// pure storage of 4 TB runs $600/month.
+	m := NewMeter(r)
+	m.ChargeStorage(4_000_000_000_000, month)
+	if b := m.Bill(); b.Storage < 500 || b.Storage > 700 {
+		t.Fatalf("4 TB-month = $%.0f, want ~$600", b.Storage)
+	}
+}

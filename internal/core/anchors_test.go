@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Anchor-surface tests: every experiment must produce its expected anchor
+// set with sane values at reduced scale, since cmd/azvalidate and the
+// benchmark metrics all hang off these.
+
+func TestFig1AnchorsComplete(t *testing.T) {
+	r := RunFig1(Fig1Config{Seed: 2, Clients: []int{1, 32, 64, 128, 192}, BlobMB: 32, Runs: 1})
+	anchors := r.Anchors()
+	want := []string{
+		"download per-client @1", "download per-client @32",
+		"download aggregate peak @128", "upload per-client @64",
+		"upload per-client @192", "upload aggregate max @192",
+	}
+	if len(anchors) != len(want) {
+		t.Fatalf("anchors = %d, want %d", len(anchors), len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(anchors[i].Name, w) {
+			t.Fatalf("anchor %d = %q, want contains %q", i, anchors[i].Name, w)
+		}
+		if anchors[i].Measured <= 0 {
+			t.Fatalf("anchor %q non-positive", anchors[i].Name)
+		}
+	}
+}
+
+func TestFig1SkipUpload(t *testing.T) {
+	r := RunFig1(Fig1Config{Seed: 2, Clients: []int{1, 64}, BlobMB: 16, Runs: 1, SkipUpload: true})
+	if r.Points[0].UpMBps != 0 {
+		t.Fatal("upload measured despite SkipUpload")
+	}
+	// Upload anchors must be absent.
+	for _, a := range r.Anchors() {
+		if strings.Contains(a.Name, "upload") {
+			t.Fatalf("upload anchor %q present with SkipUpload", a.Name)
+		}
+	}
+}
+
+func TestFig3AnchorsComplete(t *testing.T) {
+	r := RunFig3(Fig3Config{Seed: 2, Clients: []int{16, 64, 128, 192}, OpsEach: 25})
+	names := map[string]bool{}
+	for _, a := range r.Anchors() {
+		names[a.Name] = true
+		if a.Measured <= 0 {
+			t.Fatalf("anchor %q non-positive", a.Name)
+		}
+	}
+	for _, w := range []string{
+		"add aggregate peak @64", "receive aggregate peak @64",
+		"peek aggregate @128", "peek aggregate @192 (still rising)",
+		"per-client add @16 (15-20 ops/s)",
+	} {
+		if !names[w] {
+			t.Fatalf("missing anchor %q (have %v)", w, names)
+		}
+	}
+}
+
+func TestFig3AnchorsPartialLadder(t *testing.T) {
+	// Missing concurrency levels simply omit their anchors.
+	r := RunFig3(Fig3Config{Seed: 2, Clients: []int{8}, OpsEach: 20})
+	if len(r.Anchors()) != 0 {
+		t.Fatalf("anchors for absent levels: %v", r.Anchors())
+	}
+}
+
+func TestTCPAnchorValues(t *testing.T) {
+	r := RunTCP(TCPConfig{Seed: 2, LatencySamples: 2000, BandwidthPairs: 40, TransfersPer: 2})
+	anchors := r.Anchors()
+	if len(anchors) != 5 {
+		t.Fatalf("anchors = %d, want 5", len(anchors))
+	}
+	for _, a := range anchors {
+		if a.Measured < 0 {
+			t.Fatalf("anchor %q negative", a.Name)
+		}
+	}
+}
+
+func TestAggregateHelpers(t *testing.T) {
+	p := Fig3Point{Clients: 10, AddOps: 2, PeekOps: 3, ReceiveOps: 4}
+	if p.AggAdd() != 20 || p.AggPeek() != 30 || p.AggReceive() != 40 {
+		t.Fatal("aggregate helpers wrong")
+	}
+}
+
+func TestTable1CellAutoCreates(t *testing.T) {
+	res := RunTable1(Table1Config{Seed: 2, Runs: 4})
+	s := res.Cell(0, 0, "Nonexistent")
+	if s == nil || s.N() != 0 {
+		t.Fatal("Cell should auto-create empty summaries")
+	}
+}

@@ -1,0 +1,45 @@
+// Package core is the measurement framework of the reproduction: one
+// experiment type per artifact of the paper's evaluation (Figs. 1-5,
+// Table 1, plus the Section 6 ablations), each re-running the paper's exact
+// client protocol against the simulated cloud and reporting paper-vs-
+// measured anchor points.
+//
+// Every experiment is deterministic given its seed; scale knobs (client
+// counts, op counts, blob sizes) default to the paper's protocol but can be
+// reduced for quick benchmarking.
+package core
+
+import "fmt"
+
+// Anchor is one published data point compared against the reproduction.
+type Anchor struct {
+	Name     string  // what is being compared
+	Unit     string  // measurement unit
+	Paper    float64 // value reported in the paper
+	Measured float64 // value this reproduction measured
+}
+
+// RelErr returns |measured−paper|/|paper| (0 when paper is 0).
+func (a Anchor) RelErr() float64 {
+	if a.Paper == 0 {
+		return 0
+	}
+	d := a.Measured - a.Paper
+	if d < 0 {
+		d = -d
+	}
+	p := a.Paper
+	if p < 0 {
+		p = -p
+	}
+	return d / p
+}
+
+func (a Anchor) String() string {
+	return fmt.Sprintf("%-46s paper=%10.2f  measured=%10.2f %-8s (%.1f%% off)",
+		a.Name, a.Paper, a.Measured, a.Unit, a.RelErr()*100)
+}
+
+// DefaultClientCounts is the concurrency ladder used across the storage
+// experiments (the paper sweeps 1-192 concurrent clients).
+func DefaultClientCounts() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128, 192} }

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"azureobs/internal/fabric"
+)
+
+func TestAnchorRelErr(t *testing.T) {
+	a := Anchor{Paper: 100, Measured: 90}
+	if math.Abs(a.RelErr()-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %v", a.RelErr())
+	}
+	if (Anchor{Paper: 0, Measured: 5}).RelErr() != 0 {
+		t.Fatal("zero-paper RelErr should be 0")
+	}
+	if s := a.String(); s == "" {
+		t.Fatal("empty anchor string")
+	}
+}
+
+func TestDefaultClientCounts(t *testing.T) {
+	c := DefaultClientCounts()
+	if c[0] != 1 || c[len(c)-1] != 192 {
+		t.Fatalf("client ladder = %v", c)
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			t.Fatal("ladder not increasing")
+		}
+	}
+}
+
+func TestFig1SmallScale(t *testing.T) {
+	cfg := Fig1Config{Seed: 1, Clients: []int{1, 32}, BlobMB: 64, Runs: 1}
+	r := RunFig1(cfg)
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	p1, p32 := r.Points[0], r.Points[1]
+	if math.Abs(p1.DownMBps-13) > 1.5 {
+		t.Fatalf("1-client download = %.2f, want ~13", p1.DownMBps)
+	}
+	if math.Abs(p32.DownMBps-6.5) > 1.2 {
+		t.Fatalf("32-client download = %.2f, want ~6.5", p32.DownMBps)
+	}
+	if p1.UpMBps < 5 || p1.UpMBps > 8 {
+		t.Fatalf("1-client upload = %.2f, want ~6.5", p1.UpMBps)
+	}
+	if p32.DownAggMBps < p1.DownAggMBps {
+		t.Fatal("aggregate download should grow with clients")
+	}
+	for _, a := range r.Anchors() {
+		if a.Name == "download per-client @1 (100 Mbit NIC bound)" && a.RelErr() > 0.15 {
+			t.Fatalf("anchor off: %v", a)
+		}
+	}
+}
+
+func TestFig1Deterministic(t *testing.T) {
+	cfg := Fig1Config{Seed: 5, Clients: []int{8}, BlobMB: 32, Runs: 1}
+	a := RunFig1(cfg)
+	b := RunFig1(cfg)
+	if a.Points[0] != b.Points[0] {
+		t.Fatalf("nondeterministic fig1: %+v vs %+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestFig2SmallScale(t *testing.T) {
+	cfg := Fig2Config{Seed: 1, Clients: []int{1, 8, 64}, EntitySize: 4096,
+		Inserts: 40, Queries: 40, Updates: 20}
+	r := RunFig2(cfg)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	p1, p8, p64 := r.Points[0], r.Points[1], r.Points[2]
+	if p1.InsertOps < 20 || p1.InsertOps > 34 {
+		t.Fatalf("1-client insert = %.1f, want ~27", p1.InsertOps)
+	}
+	if p1.QueryOps <= p1.InsertOps {
+		t.Fatal("query should be faster than insert")
+	}
+	// Update aggregate peaks at 8.
+	if !(p8.UpdateOps*8 > p1.UpdateOps && p8.UpdateOps*8 > p64.UpdateOps*64) {
+		t.Fatalf("update aggregate not peaked at 8: %v %v %v",
+			p1.UpdateOps, p8.UpdateOps*8, p64.UpdateOps*64)
+	}
+	// All insert runs complete at 4 kB.
+	if p64.InsertSurvivors != 64 {
+		t.Fatalf("4kB insert survivors = %d, want 64", p64.InsertSurvivors)
+	}
+}
+
+func TestFig2Overload64k(t *testing.T) {
+	cfg := Fig2Config{Seed: 1, Clients: []int{128}, EntitySize: 65536,
+		Inserts: 500, Queries: 1, Updates: 1}
+	r := RunFig2(cfg)
+	s := r.Points[0].InsertSurvivors
+	if s < 70 || s > 120 {
+		t.Fatalf("64kB@128 insert survivors = %d, want ~94", s)
+	}
+	anchors := r.Anchors()
+	found := false
+	for _, a := range anchors {
+		if a.Name == "64kB insert survivors @128" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing 64kB survivor anchor")
+	}
+}
+
+func TestFig3SmallScale(t *testing.T) {
+	cfg := Fig3Config{Seed: 1, Clients: []int{1, 64, 192}, MsgSize: 512, OpsEach: 30}
+	r := RunFig3(cfg)
+	p1, p64, p192 := r.Points[0], r.Points[1], r.Points[2]
+	if p1.AddOps < 14 || p1.AddOps > 21 {
+		t.Fatalf("1-client add = %.1f, want 15-20", p1.AddOps)
+	}
+	if math.Abs(p64.AggAdd()-569) > 80 {
+		t.Fatalf("add aggregate @64 = %.0f, want ~569", p64.AggAdd())
+	}
+	if p192.AggAdd() >= p64.AggAdd() {
+		t.Fatal("add aggregate should decline past 64")
+	}
+	if p192.AggPeek() <= p64.AggPeek() {
+		t.Fatal("peek aggregate should keep rising")
+	}
+	if p64.ReceiveOps >= p64.AddOps {
+		t.Fatal("receive should be slower than add")
+	}
+}
+
+func TestQueueDepthInvariance(t *testing.T) {
+	r := RunQueueDepth(1, 20000, 200000)
+	if math.Abs(r.SmallRate-r.LargeRate)/r.SmallRate > 0.1 {
+		t.Fatalf("depth sensitivity: %.2f vs %.2f", r.SmallRate, r.LargeRate)
+	}
+}
+
+func TestTable1SmallScale(t *testing.T) {
+	r := RunTable1(Table1Config{Seed: 1, Runs: 60})
+	if r.SuccessRuns != 60 {
+		t.Fatalf("successes = %d", r.SuccessRuns)
+	}
+	// Aggregate across sizes: every collected cell should be plausible.
+	ws := r.Cell(fabric.Worker, fabric.Small, "Run")
+	if ws.N() > 3 && math.Abs(ws.Mean()-533) > 60 {
+		t.Fatalf("worker-small run mean = %.1f, want ~533", ws.Mean())
+	}
+	del := r.Cell(fabric.Worker, fabric.Small, "Delete")
+	if del.N() > 3 && (del.Mean() < 1 || del.Mean() > 15) {
+		t.Fatalf("delete mean = %.1f, want ~6", del.Mean())
+	}
+	// XL never collects Add samples.
+	if r.Cell(fabric.Worker, fabric.ExtraLarge, "Add").N() != 0 {
+		t.Fatal("XL Add should be N/A")
+	}
+	if r.Cell(fabric.Web, fabric.ExtraLarge, "Add").N() != 0 {
+		t.Fatal("web XL Add should be N/A")
+	}
+	if len(r.Anchors()) < 10 {
+		t.Fatalf("too few anchors: %d", len(r.Anchors()))
+	}
+}
+
+func TestTable1Percentiles(t *testing.T) {
+	r := RunTable1(Table1Config{Seed: 2, Runs: 431})
+	pct := r.Percentiles()
+	// With PosNormal(533, 36), ~58% of worker-small first instances land
+	// within 9 min and ~97% within 10 (see EXPERIMENTS.md for the
+	// discussion of the paper's internally inconsistent 85% claim).
+	if r.FirstReadyWorkerSmall.N() > 25 {
+		if pct.WorkerWithin10Min < 0.85 {
+			t.Fatalf("P(worker ≤ 10min) = %.2f, want ≥ 0.85", pct.WorkerWithin10Min)
+		}
+		if pct.WorkerWithin9Min <= 0.35 || pct.WorkerWithin9Min >= 0.85 {
+			t.Fatalf("P(worker ≤ 9min) = %.2f, implausible", pct.WorkerWithin9Min)
+		}
+	}
+	if r.FirstReadyWebSmall.N() > 10 && pct.WebWithin11Min < 0.8 {
+		t.Fatalf("P(web ≤ 11min) = %.2f, want ≥ 0.8", pct.WebWithin11Min)
+	}
+}
+
+func TestTable1FailureRate(t *testing.T) {
+	r := RunTable1(Table1Config{Seed: 3, Runs: 250})
+	rate := r.FailureRate()
+	if rate < 0.002 || rate > 0.08 {
+		t.Fatalf("failure rate = %.3f, want ~0.026", rate)
+	}
+}
+
+func TestTCPDistributions(t *testing.T) {
+	r := RunTCP(TCPConfig{Seed: 1, LatencySamples: 5000, BandwidthPairs: 100, TransfersPer: 3})
+	if p := r.LatencyMS.FracLE(1); math.Abs(p-0.5) > 0.04 {
+		t.Fatalf("P(≤1ms) = %.3f, want ~0.5", p)
+	}
+	if p := r.LatencyMS.FracLE(2); math.Abs(p-0.75) > 0.04 {
+		t.Fatalf("P(≤2ms) = %.3f, want ~0.75", p)
+	}
+	if p := 1 - r.BandwidthMBps.FracLE(90); p < 0.35 || p > 0.65 {
+		t.Fatalf("P(≥90MB/s) = %.3f, want ~0.5", p)
+	}
+	if p := r.BandwidthMBps.FracLE(30); p < 0.06 || p > 0.26 {
+		t.Fatalf("P(≤30MB/s) = %.3f, want ~0.15", p)
+	}
+	if r.BandwidthMBps.Quantile(1) > 125.01 {
+		t.Fatalf("bandwidth above GigE: %.1f", r.BandwidthMBps.Quantile(1))
+	}
+}
+
+func TestStartupScaling(t *testing.T) {
+	r := RunStartupScaling(StartupScalingConfig{Seed: 1, Sizes: []int{1, 4, 16}, Runs: 15})
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	p1, p4, p16 := r.Points[0], r.Points[1], r.Points[2]
+	// First-instance time is size-independent (~533 s for small workers).
+	if math.Abs(p1.FirstReady.Mean()-p16.FirstReady.Mean()) > 60 {
+		t.Fatalf("first-ready depends on size: %.0f vs %.0f",
+			p1.FirstReady.Mean(), p16.FirstReady.Mean())
+	}
+	// All-ready grows roughly linearly at the 60-100 s/instance lag.
+	if !(p1.AllReady.Mean() < p4.AllReady.Mean() && p4.AllReady.Mean() < p16.AllReady.Mean()) {
+		t.Fatal("all-ready not increasing with size")
+	}
+	slope := r.MarginalSecondsPerInstance()
+	if slope < 60 || slope > 100 {
+		t.Fatalf("marginal startup = %.1f s/instance, want 60-100", slope)
+	}
+}
+
+func TestSQLCompare(t *testing.T) {
+	r := RunSQLCompare(SQLCompareConfig{Seed: 1, Clients: []int{1, 128}, OpsEach: 40})
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	solo, crowd := r.Points[0], r.Points[1]
+	// Low concurrency: the relational tier is faster per op than the
+	// HTTP-fronted table service.
+	if solo.SQLSelectOps <= solo.TableQueryOps {
+		t.Fatalf("sql select (%.1f) not faster than table query (%.1f) at 1 client",
+			solo.SQLSelectOps, solo.TableQueryOps)
+	}
+	if solo.ThrottledOpens != 0 {
+		t.Fatal("single client throttled")
+	}
+	// High concurrency: the SQL connection cap bites; table storage admits
+	// everyone.
+	if crowd.ThrottledOpens == 0 {
+		t.Fatal("no SQL throttling at 128 clients")
+	}
+	if crowd.ConnectedOpens+crowd.ThrottledOpens != 128 {
+		t.Fatalf("opens %d + throttled %d != 128", crowd.ConnectedOpens, crowd.ThrottledOpens)
+	}
+	// Per-connected-client rates degrade with concurrency on both tiers.
+	if crowd.SQLInsertOps >= solo.SQLInsertOps || crowd.TableInsertOps >= solo.TableInsertOps {
+		t.Fatal("no contention degradation observed")
+	}
+}
+
+func TestReplicationAblation(t *testing.T) {
+	r := RunReplication(ReplicationConfig{Seed: 1, Clients: 64, BlobMB: 64, Replicas: []int{1, 4}})
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	one, four := r.Points[0], r.Points[1]
+	if one.AggregateMBps > 420 {
+		t.Fatalf("single-blob aggregate %.0f above per-blob ceiling", one.AggregateMBps)
+	}
+	if four.SpeedupVsOne < 1.5 {
+		t.Fatalf("4-way replication speedup = %.2f, want meaningful gain", four.SpeedupVsOne)
+	}
+	if four.PerClientMBps <= one.PerClientMBps {
+		t.Fatal("replication did not raise per-client bandwidth")
+	}
+	if one.SpeedupVsOne != 1 {
+		t.Fatalf("baseline speedup = %v", one.SpeedupVsOne)
+	}
+}
+
+func TestPropFilter(t *testing.T) {
+	r := RunPropFilter(PropFilterConfig{Seed: 1, Entities: 220000, Clients: []int{1, 32}})
+	if r.Points[0].Timeouts != 0 {
+		t.Fatalf("solo filter queries timed out: %d", r.Points[0].Timeouts)
+	}
+	p32 := r.Points[1]
+	if p32.Timeouts*2 <= p32.Queries {
+		t.Fatalf("32-way filter timeouts = %d/%d, want over half", p32.Timeouts, p32.Queries)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+)
+
+// Fig1Config scales the blob bandwidth experiment. The paper's protocol
+// (Section 3.1): n worker roles simultaneously download the same 1 GB blob /
+// upload distinct 1 GB blobs to one container; three runs per setting.
+type Fig1Config struct {
+	Seed       uint64
+	Clients    []int
+	BlobMB     int64 // per-transfer size (paper: 1024)
+	Runs       int   // repetitions per concurrency level (paper: 3/day)
+	SkipUpload bool
+}
+
+// DefaultFig1Config is the paper-scale protocol.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{Seed: 42, Clients: DefaultClientCounts(), BlobMB: 1024, Runs: 3}
+}
+
+// Fig1Point is the measurement at one concurrency level.
+type Fig1Point struct {
+	Clients        int
+	DownMBps       float64 // mean per-client download bandwidth
+	UpMBps         float64 // mean per-client upload bandwidth
+	DownAggMBps    float64
+	UpAggMBps      float64
+	DownMBpsStddev float64
+}
+
+// Fig1Result is the reproduced Fig. 1 dataset.
+type Fig1Result struct {
+	Points []Fig1Point
+}
+
+// RunFig1 executes the blob bandwidth sweep.
+func RunFig1(cfg Fig1Config) *Fig1Result {
+	if cfg.Clients == nil {
+		cfg.Clients = DefaultClientCounts()
+	}
+	if cfg.BlobMB == 0 {
+		cfg.BlobMB = 1024
+	}
+	if cfg.Runs == 0 {
+		cfg.Runs = 3
+	}
+	res := &Fig1Result{}
+	for _, n := range cfg.Clients {
+		pt := Fig1Point{Clients: n}
+		var down, up, downAgg, upAgg metrics.Summary
+		for run := 0; run < cfg.Runs; run++ {
+			d, da := fig1Download(cfg, n, run)
+			down.Merge(d)
+			downAgg.Add(da)
+			if !cfg.SkipUpload {
+				u, ua := fig1Upload(cfg, n, run)
+				up.Merge(u)
+				upAgg.Add(ua)
+			}
+		}
+		pt.DownMBps = down.Mean()
+		pt.DownMBpsStddev = down.Std()
+		pt.DownAggMBps = downAgg.Mean()
+		pt.UpMBps = up.Mean()
+		pt.UpAggMBps = upAgg.Mean()
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// fig1Download runs one download round: n clients fetch the same blob.
+func fig1Download(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
+	cloud := fig1Cloud(cfg, run)
+	cloud.Blob.CreateContainer("bench")
+	size := cfg.BlobMB * netsim.MB
+
+	// Stage the shared blob without timing it.
+	staged := false
+	stager := cloud.NewClient(cloud.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0], 1_000_000)
+	cloud.Engine.Spawn("stage", func(p *sim.Proc) {
+		if err := stager.PutBlob(p, "bench", "shared-1g", size, true); err != nil {
+			panic(err)
+		}
+		staged = true
+	})
+	cloud.Engine.Run()
+	if !staged {
+		panic("fig1: staging failed")
+	}
+
+	per := &metrics.Summary{}
+	vms := cloud.Controller.ReadyFleet(n, fabric.Worker, fabric.Small)
+	var firstStart, lastEnd float64
+	var totalBytes int64
+	for i := 0; i < n; i++ {
+		cl := cloud.NewClient(vms[i], i)
+		cloud.Engine.Spawn(fmt.Sprintf("dl%d", i), func(p *sim.Proc) {
+			start := p.Now()
+			got, err := cl.GetBlob(p, "bench", "shared-1g")
+			if err != nil {
+				panic(err)
+			}
+			elapsed := (p.Now() - start).Seconds()
+			per.Add(float64(got) / 1e6 / elapsed)
+			totalBytes += got
+			if end := p.Now().Seconds(); end > lastEnd {
+				lastEnd = end
+			}
+			_ = firstStart
+		})
+	}
+	base := cloud.Engine.Now().Seconds()
+	cloud.Engine.Run()
+	agg := float64(totalBytes) / 1e6 / (lastEnd - base)
+	return per, agg
+}
+
+// fig1Upload runs one upload round: n clients push distinct blobs into one
+// container.
+func fig1Upload(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
+	cloud := fig1Cloud(cfg, run+7919)
+	cloud.Blob.CreateContainer("bench")
+	size := cfg.BlobMB * netsim.MB
+	per := &metrics.Summary{}
+	vms := cloud.Controller.ReadyFleet(n, fabric.Worker, fabric.Small)
+	var lastEnd float64
+	var totalBytes int64
+	for i := 0; i < n; i++ {
+		i := i
+		cl := cloud.NewClient(vms[i], i)
+		cloud.Engine.Spawn(fmt.Sprintf("ul%d", i), func(p *sim.Proc) {
+			start := p.Now()
+			if err := cl.PutBlob(p, "bench", fmt.Sprintf("upload-%d", i), size, true); err != nil {
+				panic(err)
+			}
+			elapsed := (p.Now() - start).Seconds()
+			per.Add(float64(size) / 1e6 / elapsed)
+			totalBytes += size
+			if end := p.Now().Seconds(); end > lastEnd {
+				lastEnd = end
+			}
+		})
+	}
+	base := cloud.Engine.Now().Seconds()
+	cloud.Engine.Run()
+	agg := float64(totalBytes) / 1e6 / (lastEnd - base)
+	return per, agg
+}
+
+func fig1Cloud(cfg Fig1Config, salt int) *azure.Cloud {
+	ccfg := azure.Config{Seed: cfg.Seed + uint64(salt)*1_000_003}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = false
+	return azure.NewCloud(ccfg)
+}
+
+// Anchors compares the reproduction against the published Fig. 1 numbers.
+func (r *Fig1Result) Anchors() []Anchor {
+	var out []Anchor
+	find := func(n int) *Fig1Point {
+		for i := range r.Points {
+			if r.Points[i].Clients == n {
+				return &r.Points[i]
+			}
+		}
+		return nil
+	}
+	if p := find(1); p != nil {
+		out = append(out, Anchor{"download per-client @1 (100 Mbit NIC bound)", "MB/s", 13, p.DownMBps})
+	}
+	if p := find(32); p != nil {
+		out = append(out, Anchor{"download per-client @32 (half of single)", "MB/s", 6.5, p.DownMBps})
+	}
+	if p := find(128); p != nil {
+		out = append(out, Anchor{"download aggregate peak @128", "MB/s", 393.4, p.DownAggMBps})
+	}
+	if p := find(64); p != nil && p.UpMBps > 0 {
+		out = append(out, Anchor{"upload per-client @64", "MB/s", 1.25, p.UpMBps})
+	}
+	if p := find(192); p != nil && p.UpMBps > 0 {
+		out = append(out, Anchor{"upload per-client @192", "MB/s", 0.65, p.UpMBps})
+		out = append(out, Anchor{"upload aggregate max @192", "MB/s", 124.25, p.UpAggMBps})
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+)
+
+// Fig3Config scales the queue storage experiment. The paper's protocol
+// (Section 3.3): one queue shared by 1-192 worker roles; Add, Peek and
+// Receive measured separately; message sizes 512 B - 8 kB.
+type Fig3Config struct {
+	Seed    uint64
+	Clients []int
+	MsgSize int // bytes (paper figure: 512)
+	OpsEach int // operations per client per phase
+}
+
+// DefaultFig3Config is the paper-scale protocol at 512-byte messages.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{Seed: 42, Clients: DefaultClientCounts(), MsgSize: 512, OpsEach: 100}
+}
+
+// Fig3Point holds per-client ops/s for the three operations at one level.
+type Fig3Point struct {
+	Clients    int
+	AddOps     float64
+	PeekOps    float64
+	ReceiveOps float64
+}
+
+// AggAdd returns service-side Add throughput.
+func (p Fig3Point) AggAdd() float64 { return p.AddOps * float64(p.Clients) }
+
+// AggPeek returns service-side Peek throughput.
+func (p Fig3Point) AggPeek() float64 { return p.PeekOps * float64(p.Clients) }
+
+// AggReceive returns service-side Receive throughput.
+func (p Fig3Point) AggReceive() float64 { return p.ReceiveOps * float64(p.Clients) }
+
+// Fig3Result is the reproduced Fig. 3 dataset.
+type Fig3Result struct {
+	MsgSize int
+	Points  []Fig3Point
+}
+
+// RunFig3 executes the queue operation sweep.
+func RunFig3(cfg Fig3Config) *Fig3Result {
+	if cfg.Clients == nil {
+		cfg.Clients = DefaultClientCounts()
+	}
+	if cfg.MsgSize == 0 {
+		cfg.MsgSize = 512
+	}
+	if cfg.OpsEach == 0 {
+		cfg.OpsEach = 100
+	}
+	res := &Fig3Result{MsgSize: cfg.MsgSize}
+	for _, n := range cfg.Clients {
+		res.Points = append(res.Points, runFig3Level(cfg, n))
+	}
+	return res
+}
+
+func runFig3Level(cfg Fig3Config, n int) Fig3Point {
+	ccfg := azure.Config{Seed: cfg.Seed + uint64(n)*15485863}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = false
+	cloud := azure.NewCloud(ccfg)
+	q := cloud.Queue.CreateQueue("bench")
+	// Keep the queue deep enough that Receive never idles.
+	q.Prefill(n*cfg.OpsEach+1000, cfg.MsgSize)
+	pt := Fig3Point{Clients: n}
+
+	run := func(op func(p *sim.Proc) error) float64 {
+		var ops int
+		var sec float64
+		for c := 0; c < n; c++ {
+			cloud.Engine.Spawn(fmt.Sprintf("qc%d", c), func(p *sim.Proc) {
+				start := p.Now()
+				for i := 0; i < cfg.OpsEach; i++ {
+					if err := op(p); err != nil {
+						panic(err)
+					}
+					ops++
+				}
+				sec += (p.Now() - start).Seconds()
+			})
+		}
+		cloud.Engine.Run()
+		return float64(ops) / sec
+	}
+
+	pt.AddOps = run(func(p *sim.Proc) error {
+		_, err := cloud.Queue.Add(p, q, "m", cfg.MsgSize)
+		return err
+	})
+	pt.PeekOps = run(func(p *sim.Proc) error {
+		_, _, err := cloud.Queue.Peek(p, q)
+		return err
+	})
+	pt.ReceiveOps = run(func(p *sim.Proc) error {
+		_, _, _, err := cloud.Queue.Receive(p, q, time.Hour)
+		return err
+	})
+	return pt
+}
+
+// Anchors compares against the published Fig. 3 numbers.
+func (r *Fig3Result) Anchors() []Anchor {
+	var out []Anchor
+	find := func(n int) *Fig3Point {
+		for i := range r.Points {
+			if r.Points[i].Clients == n {
+				return &r.Points[i]
+			}
+		}
+		return nil
+	}
+	if p := find(64); p != nil {
+		out = append(out, Anchor{"add aggregate peak @64", "ops/s", 569, p.AggAdd()})
+		out = append(out, Anchor{"receive aggregate peak @64", "ops/s", 424, p.AggReceive()})
+	}
+	if p := find(128); p != nil {
+		out = append(out, Anchor{"peek aggregate @128", "ops/s", 3392, p.AggPeek()})
+	}
+	if p := find(192); p != nil {
+		out = append(out, Anchor{"peek aggregate @192 (still rising)", "ops/s", 3878, p.AggPeek()})
+	}
+	if p := find(16); p != nil {
+		out = append(out, Anchor{"per-client add @16 (15-20 ops/s)", "ops/s", 17.5, p.AddOps})
+	}
+	return out
+}
+
+// QueueDepthResult compares operation rates at two queue depths — the
+// paper's 200k vs 2M message invariance check.
+type QueueDepthResult struct {
+	SmallDepth, LargeDepth int
+	SmallRate, LargeRate   float64 // per-client Receive ops/s at 8 clients
+}
+
+// RunQueueDepth executes the queue-depth invariance experiment.
+func RunQueueDepth(seed uint64, smallDepth, largeDepth int) *QueueDepthResult {
+	rate := func(depth int, salt uint64) float64 {
+		ccfg := azure.Config{Seed: seed + salt}
+		ccfg.Fabric = fabric.DefaultConfig()
+		ccfg.Fabric.Degradation = false
+		cloud := azure.NewCloud(ccfg)
+		q := cloud.Queue.CreateQueue("bench")
+		q.Prefill(depth, 512)
+		var ops int
+		var sec float64
+		for c := 0; c < 8; c++ {
+			cloud.Engine.Spawn("qc", func(p *sim.Proc) {
+				start := p.Now()
+				for i := 0; i < 50; i++ {
+					if _, _, _, err := cloud.Queue.Receive(p, q, time.Hour); err != nil {
+						panic(err)
+					}
+					ops++
+				}
+				sec += (p.Now() - start).Seconds()
+			})
+		}
+		cloud.Engine.Run()
+		return float64(ops) / sec
+	}
+	return &QueueDepthResult{
+		SmallDepth: smallDepth,
+		LargeDepth: largeDepth,
+		SmallRate:  rate(smallDepth, 0),
+		LargeRate:  rate(largeDepth, 1),
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/sim"
+)
+
+// StartupScalingConfig drives a prediction the paper's data implies but
+// does not plot: time-until-all-instances-ready as a function of deployment
+// size. The first instance costs the Table 1 run time; each further
+// instance adds the observed 60-100 s serial readiness lag (Section 4.1
+// observation 3: "Azure does not serve a request for multiple VMs at the
+// same time"), so large deployments pay startup nearly linear in size.
+type StartupScalingConfig struct {
+	Seed  uint64
+	Sizes []int // instance counts to sweep
+	Runs  int   // samples per size
+	Role  fabric.Role
+}
+
+// DefaultStartupScalingConfig sweeps 1-16 small workers.
+func DefaultStartupScalingConfig() StartupScalingConfig {
+	return StartupScalingConfig{Seed: 42, Sizes: []int{1, 2, 4, 8, 16}, Runs: 20, Role: fabric.Worker}
+}
+
+// StartupScalingPoint is one deployment size's readiness statistics.
+type StartupScalingPoint struct {
+	Instances  int
+	FirstReady metrics.Summary // seconds
+	AllReady   metrics.Summary // seconds
+}
+
+// StartupScalingResult is the sweep outcome.
+type StartupScalingResult struct {
+	Points []StartupScalingPoint
+}
+
+// RunStartupScaling executes the sweep.
+func RunStartupScaling(cfg StartupScalingConfig) *StartupScalingResult {
+	if cfg.Sizes == nil {
+		cfg.Sizes = DefaultStartupScalingConfig().Sizes
+	}
+	if cfg.Runs == 0 {
+		cfg.Runs = 20
+	}
+	res := &StartupScalingResult{}
+	ccfg := azure.Config{Seed: cfg.Seed}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = false
+	cloud := azure.NewCloud(ccfg)
+	cloud.Controller.Quota = 1 << 20
+	mgmt := cloud.Management()
+
+	for _, n := range cfg.Sizes {
+		pt := StartupScalingPoint{Instances: n}
+		cloud.Engine.Spawn("sweep", func(p *sim.Proc) {
+			for r := 0; r < cfg.Runs; r++ {
+				d, _, err := mgmt.Deploy(p, fabric.DeploymentSpec{
+					Name: "s", Role: cfg.Role, Size: fabric.Small, Instances: n,
+				})
+				if err != nil {
+					panic(err)
+				}
+				_, first, last, err := mgmt.Run(p, d)
+				if err != nil {
+					if errors.Is(err, fabric.ErrStartupFailed) {
+						if _, derr := mgmt.Delete(p, d); derr != nil {
+							panic(derr)
+						}
+						r--
+						continue
+					}
+					panic(err)
+				}
+				pt.FirstReady.AddDuration(first)
+				pt.AllReady.AddDuration(last)
+				if _, err := mgmt.Suspend(p, d); err != nil {
+					panic(err)
+				}
+				if _, err := mgmt.Delete(p, d); err != nil {
+					panic(err)
+				}
+			}
+		})
+		cloud.Engine.Run()
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// MarginalSecondsPerInstance fits the serial readiness lag: the slope of
+// all-ready time over instance count, from the sweep's extreme points.
+func (r *StartupScalingResult) MarginalSecondsPerInstance() float64 {
+	if len(r.Points) < 2 {
+		return 0
+	}
+	a, b := r.Points[0], r.Points[len(r.Points)-1]
+	return (b.AllReady.Mean() - a.AllReady.Mean()) / float64(b.Instances-a.Instances)
+}

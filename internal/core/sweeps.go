@@ -1,0 +1,135 @@
+package core
+
+// Size sweeps: the paper ran the table experiment at entity sizes 1, 4, 16
+// and 64 kB and the queue experiment at message sizes 512 B, 1, 4 and 8 kB,
+// reporting that "the shape of the performance curves for different entity
+// sizes are similar" (Section 3.2) and likewise for queues (Section 3.3) —
+// with the single exception of the 64 kB insert/delete overload at 128/192
+// clients. These sweeps regenerate that claim.
+
+// PaperEntitySizes are the entity sizes of Section 3.2.
+func PaperEntitySizes() []int { return []int{1024, 4096, 16384, 65536} }
+
+// PaperMessageSizes are the message sizes of Section 3.3.
+func PaperMessageSizes() []int { return []int{512, 1024, 4096, 8192} }
+
+// Fig2SizeSweep runs the table experiment at each entity size.
+type Fig2SizeSweep struct {
+	Sizes   []int
+	Results []*Fig2Result
+}
+
+// RunFig2Sizes executes the entity-size sweep with a shared base config.
+func RunFig2Sizes(base Fig2Config, sizes []int) *Fig2SizeSweep {
+	if sizes == nil {
+		sizes = PaperEntitySizes()
+	}
+	sw := &Fig2SizeSweep{Sizes: sizes}
+	for _, s := range sizes {
+		cfg := base
+		cfg.EntitySize = s
+		cfg.Seed = base.Seed + uint64(s)
+		sw.Results = append(sw.Results, RunFig2(cfg))
+	}
+	return sw
+}
+
+// ShapeSimilarity quantifies how similar two concurrency curves are:
+// the maximum relative deviation of their point-wise ratios from the median
+// ratio. Curves that differ only by a vertical scale factor score 0.
+func ShapeSimilarity(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 1
+	}
+	ratios := make([]float64, 0, len(a))
+	for i := range a {
+		if b[i] <= 0 || a[i] <= 0 {
+			return 1
+		}
+		ratios = append(ratios, a[i]/b[i])
+	}
+	// median ratio
+	med := medianOf(ratios)
+	worst := 0.0
+	for _, r := range ratios {
+		d := r/med - 1
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort: tiny inputs
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// InsertCurve extracts the per-client insert rates in client order.
+func (r *Fig2Result) InsertCurve() []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = p.InsertOps
+	}
+	return out
+}
+
+// QueryCurve extracts the per-client query rates.
+func (r *Fig2Result) QueryCurve() []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = p.QueryOps
+	}
+	return out
+}
+
+// Fig3SizeSweep runs the queue experiment at each message size.
+type Fig3SizeSweep struct {
+	Sizes   []int
+	Results []*Fig3Result
+}
+
+// RunFig3Sizes executes the message-size sweep with a shared base config.
+func RunFig3Sizes(base Fig3Config, sizes []int) *Fig3SizeSweep {
+	if sizes == nil {
+		sizes = PaperMessageSizes()
+	}
+	sw := &Fig3SizeSweep{Sizes: sizes}
+	for _, s := range sizes {
+		cfg := base
+		cfg.MsgSize = s
+		cfg.Seed = base.Seed + uint64(s)
+		sw.Results = append(sw.Results, RunFig3(cfg))
+	}
+	return sw
+}
+
+// AddCurve extracts the per-client Add rates.
+func (r *Fig3Result) AddCurve() []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = p.AddOps
+	}
+	return out
+}
+
+// ReceiveCurve extracts the per-client Receive rates.
+func (r *Fig3Result) ReceiveCurve() []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = p.ReceiveOps
+	}
+	return out
+}

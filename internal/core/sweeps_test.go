@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShapeSimilarity(t *testing.T) {
+	a := []float64{10, 8, 6, 4}
+	b := []float64{5, 4, 3, 2} // same shape, half scale
+	if s := ShapeSimilarity(a, b); s > 1e-9 {
+		t.Fatalf("scaled copies should score 0, got %v", s)
+	}
+	c := []float64{10, 2, 6, 4} // distorted
+	if s := ShapeSimilarity(a, c); s < 0.5 {
+		t.Fatalf("distorted curve scored too similar: %v", s)
+	}
+	if ShapeSimilarity(a, []float64{1, 2}) != 1 {
+		t.Fatal("length mismatch should score 1")
+	}
+	if ShapeSimilarity(a, []float64{1, 0, 1, 1}) != 1 {
+		t.Fatal("nonpositive values should score 1")
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if m := medianOf([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %v", m)
+	}
+	if m := medianOf([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median even = %v", m)
+	}
+}
+
+// TestFig2ShapesSimilarAcrossEntitySizes reproduces Section 3.2: "the shape
+// of the performance curves for different entity sizes are similar". We run
+// 1 kB vs 16 kB at modest scale and require point-wise shape agreement
+// within 35% for insert and query.
+func TestFig2ShapesSimilarAcrossEntitySizes(t *testing.T) {
+	base := Fig2Config{Seed: 5, Clients: []int{1, 8, 32, 96}, Inserts: 40, Queries: 40, Updates: 10}
+	sw := RunFig2Sizes(base, []int{1024, 16384})
+	small, large := sw.Results[0], sw.Results[1]
+	if s := ShapeSimilarity(small.InsertCurve(), large.InsertCurve()); s > 0.35 {
+		t.Fatalf("insert shapes diverge: %.2f", s)
+	}
+	if s := ShapeSimilarity(small.QueryCurve(), large.QueryCurve()); s > 0.35 {
+		t.Fatalf("query shapes diverge: %.2f", s)
+	}
+	// Larger entities are somewhat slower in absolute terms.
+	if large.Points[0].InsertOps >= small.Points[0].InsertOps {
+		t.Fatal("16 kB inserts not slower than 1 kB")
+	}
+}
+
+// TestFig3ShapesSimilarAcrossMessageSizes reproduces Section 3.3: "the shape
+// of the performance curve for each message size is very similar".
+func TestFig3ShapesSimilarAcrossMessageSizes(t *testing.T) {
+	base := Fig3Config{Seed: 5, Clients: []int{1, 16, 64, 128}, OpsEach: 30}
+	sw := RunFig3Sizes(base, []int{512, 8192})
+	small, large := sw.Results[0], sw.Results[1]
+	if s := ShapeSimilarity(small.AddCurve(), large.AddCurve()); s > 0.3 {
+		t.Fatalf("add shapes diverge: %.2f", s)
+	}
+	if s := ShapeSimilarity(small.ReceiveCurve(), large.ReceiveCurve()); s > 0.3 {
+		t.Fatalf("receive shapes diverge: %.2f", s)
+	}
+	// 512 B - 8 kB payloads barely move absolute rates (paper: >10 ops/s
+	// either way at ≤32 writers).
+	r512 := small.Points[1].AddOps
+	r8k := large.Points[1].AddOps
+	if math.Abs(r512-r8k)/r512 > 0.15 {
+		t.Fatalf("message size moved add rate too much: %.1f vs %.1f", r512, r8k)
+	}
+}
+
+// TestFig2SixtyFourKExceptionOnly64k verifies the published exception: the
+// overload timeouts appear at 64 kB with 128 clients but not at 16 kB.
+func TestFig2SixtyFourKExceptionOnly64k(t *testing.T) {
+	base := Fig2Config{Seed: 5, Clients: []int{128}, Inserts: 300, Queries: 1, Updates: 1}
+	sw := RunFig2Sizes(base, []int{16384, 65536})
+	if s := sw.Results[0].Points[0].InsertSurvivors; s != 128 {
+		t.Fatalf("16 kB @128: %d/128 finished; overload should not trigger", s)
+	}
+	if s := sw.Results[1].Points[0].InsertSurvivors; s == 128 {
+		t.Fatal("64 kB @128: all finished; overload should trigger")
+	}
+}

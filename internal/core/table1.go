@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+)
+
+// Table1Config scales the VM lifecycle experiment. The paper's protocol
+// (Section 4.1): each run randomly picks a role and size, creates a fresh
+// deployment sized to fit the 20-core quota while allowing doubling, then
+// times create → run → add (doubling) → suspend → delete. 431 successful
+// runs were collected; the startup failure rate was 2.6%.
+type Table1Config struct {
+	Seed uint64
+	Runs int // successful runs to collect (paper: 431)
+}
+
+// DefaultTable1Config is the paper-scale protocol.
+func DefaultTable1Config() Table1Config { return Table1Config{Seed: 42, Runs: 431} }
+
+// PhaseKey identifies one cell of Table 1.
+type PhaseKey struct {
+	Role  fabric.Role
+	Size  fabric.Size
+	Phase string // "Create", "Run", "Add", "Suspend", "Delete"
+}
+
+// Table1Result is the reproduced Table 1 plus the derived readiness
+// statistics quoted in the text.
+type Table1Result struct {
+	Cells map[PhaseKey]*metrics.Summary
+
+	// FirstReadySmall collects first-instance readiness for small
+	// deployments per role, for the percentile claims (85% ≤ 9 min etc.).
+	FirstReadyWorkerSmall *metrics.Sample
+	FirstReadyWebSmall    *metrics.Sample
+	// LagFirstToLast collects the 1st→4th instance lag for small
+	// deployments.
+	LagFirstToLast *metrics.Sample
+
+	SuccessRuns int
+	FailedRuns  int
+}
+
+// FailureRate returns the observed startup failure rate.
+func (r *Table1Result) FailureRate() float64 {
+	total := r.SuccessRuns + r.FailedRuns
+	if total == 0 {
+		return 0
+	}
+	return float64(r.FailedRuns) / float64(total)
+}
+
+// Cell returns the summary for one (role, size, phase).
+func (r *Table1Result) Cell(role fabric.Role, size fabric.Size, phase string) *metrics.Summary {
+	s, ok := r.Cells[PhaseKey{role, size, phase}]
+	if !ok {
+		s = &metrics.Summary{}
+		r.Cells[PhaseKey{role, size, phase}] = s
+	}
+	return s
+}
+
+// RunTable1 executes the VM lifecycle experiment.
+func RunTable1(cfg Table1Config) *Table1Result {
+	if cfg.Runs == 0 {
+		cfg.Runs = 431
+	}
+	res := &Table1Result{
+		Cells:                 make(map[PhaseKey]*metrics.Summary),
+		FirstReadyWorkerSmall: metrics.NewSample(cfg.Runs),
+		FirstReadyWebSmall:    metrics.NewSample(cfg.Runs),
+		LagFirstToLast:        metrics.NewSample(cfg.Runs),
+	}
+	ccfg := azure.Config{Seed: cfg.Seed}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = false
+	cloud := azure.NewCloud(ccfg)
+	mgmt := cloud.Management()
+	pick := simrand.New(cfg.Seed).Fork("table1-pick")
+
+	roles := []fabric.Role{fabric.Worker, fabric.Web}
+	sizes := []fabric.Size{fabric.Small, fabric.Medium, fabric.Large, fabric.ExtraLarge}
+
+	cloud.Engine.Spawn("table1", func(p *sim.Proc) {
+		for res.SuccessRuns < cfg.Runs {
+			role := roles[pick.IntN(len(roles))]
+			size := sizes[pick.IntN(len(sizes))]
+			if !runOnce(p, mgmt, res, role, size) {
+				res.FailedRuns++
+			} else {
+				res.SuccessRuns++
+			}
+		}
+	})
+	cloud.Engine.Run()
+	return res
+}
+
+// runOnce performs one full lifecycle; returns false on startup failure.
+func runOnce(p *sim.Proc, mgmt *azure.Management, res *Table1Result, role fabric.Role, size fabric.Size) bool {
+	spec := fabric.DeploymentSpec{Name: "t1", Role: role, Size: size}
+	d, createDur, err := mgmt.Deploy(p, spec)
+	if err != nil {
+		panic(err)
+	}
+	_, firstReady, lastReady, err := mgmt.Run(p, d)
+	if err != nil {
+		if errors.Is(err, fabric.ErrStartupFailed) {
+			if _, derr := mgmt.Delete(p, d); derr != nil {
+				panic(derr)
+			}
+			return false
+		}
+		panic(err)
+	}
+
+	res.Cell(role, size, "Create").AddDuration(createDur)
+	// Table 1's Run column is interpreted as first-instance readiness (see
+	// DESIGN.md): the paper's own text quotes ~9 min for a small worker
+	// instance, matching the 533 s table entry, while the 1st→4th lag is
+	// reported separately.
+	res.Cell(role, size, "Run").AddDuration(firstReady)
+	if size == fabric.Small {
+		if role == fabric.Worker {
+			res.FirstReadyWorkerSmall.AddDuration(firstReady)
+		} else {
+			res.FirstReadyWebSmall.AddDuration(firstReady)
+		}
+		res.LagFirstToLast.AddDuration(lastReady - firstReady)
+	}
+
+	// Add (doubling) — N/A for extra large.
+	if fabric.Params(role, size).HasAdd() {
+		addDur, err := mgmt.Add(p, d, len(d.VMs()))
+		switch {
+		case err == nil:
+			res.Cell(role, size, "Add").AddDuration(addDur)
+		case errors.Is(err, fabric.ErrStartupFailed):
+			// Add-phase startup failure: skip the sample, keep the run.
+		default:
+			panic(err)
+		}
+	}
+
+	susDur, err := mgmt.Suspend(p, d)
+	if err != nil {
+		panic(err)
+	}
+	res.Cell(role, size, "Suspend").AddDuration(susDur)
+
+	delDur, err := mgmt.Delete(p, d)
+	if err != nil {
+		panic(err)
+	}
+	res.Cell(role, size, "Delete").AddDuration(delDur)
+	return true
+}
+
+// Anchors compares the reproduction against the published Table 1 cells and
+// the derived claims of Section 4.1.
+func (r *Table1Result) Anchors() []Anchor {
+	var out []Anchor
+	check := func(role fabric.Role, size fabric.Size, phase string) {
+		paper := paperStat(role, size, phase)
+		if paper == 0 {
+			return
+		}
+		s := r.Cell(role, size, phase)
+		if s.N() == 0 {
+			return
+		}
+		out = append(out, Anchor{
+			Name:     role.String() + "/" + size.String() + "/" + phase + " avg",
+			Unit:     "s",
+			Paper:    paper,
+			Measured: s.Mean(),
+		})
+	}
+	for _, role := range []fabric.Role{fabric.Worker, fabric.Web} {
+		for _, size := range []fabric.Size{fabric.Small, fabric.Medium, fabric.Large, fabric.ExtraLarge} {
+			for _, phase := range []string{"Create", "Run", "Add", "Suspend", "Delete"} {
+				check(role, size, phase)
+			}
+		}
+	}
+	if r.LagFirstToLast.N() > 0 {
+		out = append(out, Anchor{"1st→4th instance lag (small)", "s", 240, r.LagFirstToLast.Mean()})
+	}
+	if r.FirstReadyWorkerSmall.N() > 0 {
+		out = append(out, Anchor{"quickest worker-small first instance", "s",
+			450, r.FirstReadyWorkerSmall.Quantile(0)})
+	}
+	out = append(out, Anchor{"startup failure rate", "%", 2.6, r.FailureRate() * 100})
+	return out
+}
+
+// paperStat returns the published Table 1 average for a cell (0 if N/A).
+func paperStat(role fabric.Role, size fabric.Size, phase string) float64 {
+	ps := fabric.Params(role, size)
+	switch phase {
+	case "Create":
+		return ps.Create.Avg
+	case "Run":
+		return ps.Run.Avg
+	case "Add":
+		return ps.Add.Avg
+	case "Suspend":
+		return ps.Suspend.Avg
+	case "Delete":
+		return ps.Delete.Avg
+	}
+	return 0
+}
+
+// ReadinessPercentiles reports the fraction of small-instance first
+// readiness within the thresholds quoted in Section 4.1.
+type ReadinessPercentiles struct {
+	WorkerWithin9Min, WorkerWithin10Min float64
+	WebWithin10Min, WebWithin11Min      float64
+}
+
+// Percentiles computes the readiness fractions.
+func (r *Table1Result) Percentiles() ReadinessPercentiles {
+	return ReadinessPercentiles{
+		WorkerWithin9Min:  r.FirstReadyWorkerSmall.FracLE((9 * time.Minute).Seconds()),
+		WorkerWithin10Min: r.FirstReadyWorkerSmall.FracLE((10 * time.Minute).Seconds()),
+		WebWithin10Min:    r.FirstReadyWebSmall.FracLE((10 * time.Minute).Seconds()),
+		WebWithin11Min:    r.FirstReadyWebSmall.FracLE((11 * time.Minute).Seconds()),
+	}
+}

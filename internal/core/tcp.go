@@ -1,0 +1,125 @@
+package core
+
+import (
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+)
+
+// TCPConfig scales the inter-VM TCP experiments. The paper's protocol
+// (Section 4.2): a deployment of 20 small VMs in pairs — ten VMs measure
+// 1-byte roundtrip latency, ten measure bandwidth by sending 2 GB — for
+// 10,000 total measurements. Because our per-host placement quality is
+// static, pairs are re-drawn from a fleet between measurements to expose the
+// placement distribution the paper sampled over days.
+type TCPConfig struct {
+	Seed            uint64
+	LatencySamples  int   // paper: ~10,000 across the latency pairs
+	BandwidthPairs  int   // distinct VM pairs sampled for bandwidth
+	TransfersPer    int   // transfers per pair
+	TransferBytes   int64 // paper: 2 GB
+	FleetSize       int
+	WithDegradation bool
+}
+
+// DefaultTCPConfig is the paper-scale protocol.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		Seed:           42,
+		LatencySamples: 10000,
+		BandwidthPairs: 200,
+		TransfersPer:   5,
+		TransferBytes:  2_000_000_000,
+		FleetSize:      200,
+	}
+}
+
+// TCPResult holds the reproduced Fig. 4 (latency) and Fig. 5 (bandwidth)
+// distributions.
+type TCPResult struct {
+	LatencyMS     *metrics.Sample // roundtrip latency, milliseconds
+	BandwidthMBps *metrics.Sample // pair bandwidth, MB/s
+}
+
+// RunTCP executes both TCP experiments.
+func RunTCP(cfg TCPConfig) *TCPResult {
+	if cfg.LatencySamples == 0 {
+		cfg.LatencySamples = 10000
+	}
+	if cfg.BandwidthPairs == 0 {
+		cfg.BandwidthPairs = 200
+	}
+	if cfg.TransfersPer == 0 {
+		cfg.TransfersPer = 5
+	}
+	if cfg.TransferBytes == 0 {
+		cfg.TransferBytes = 2_000_000_000
+	}
+	if cfg.FleetSize == 0 {
+		cfg.FleetSize = 200
+	}
+	ccfg := azure.Config{Seed: cfg.Seed}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = cfg.WithDegradation
+	cloud := azure.NewCloud(ccfg)
+	vms := cloud.Controller.ReadyFleet(cfg.FleetSize, fabric.Worker, fabric.Small)
+	res := &TCPResult{
+		LatencyMS:     metrics.NewSample(cfg.LatencySamples),
+		BandwidthMBps: metrics.NewSample(cfg.BandwidthPairs * cfg.TransfersPer),
+	}
+	pick := simrand.New(cfg.Seed).Fork("tcp-pairs")
+
+	// Latency pairs: 5 client/server pairs as in the paper.
+	for pair := 0; pair < 5; pair++ {
+		pair := pair
+		cl := cloud.NewClient(vms[2*pair], pair)
+		peer := vms[2*pair+1]
+		samples := cfg.LatencySamples / 5
+		cloud.Engine.Spawn("lat", func(p *sim.Proc) {
+			for i := 0; i < samples; i++ {
+				rtt := cl.TCPRoundtrip(p, peer)
+				res.LatencyMS.Add(rtt.Seconds() * 1000)
+			}
+		})
+	}
+
+	// Bandwidth pairs: re-drawn across the fleet.
+	cloud.Engine.Spawn("bw", func(p *sim.Proc) {
+		for pair := 0; pair < cfg.BandwidthPairs; pair++ {
+			a := vms[pick.IntN(len(vms))]
+			b := vms[pick.IntN(len(vms))]
+			if a == b {
+				b = vms[(pick.IntN(len(vms)-1)+1+indexOf(vms, a))%len(vms)]
+			}
+			cl := cloud.NewClient(a, 10+pair)
+			for t := 0; t < cfg.TransfersPer; t++ {
+				elapsed := cl.TCPSend(p, b, cfg.TransferBytes)
+				res.BandwidthMBps.Add(float64(cfg.TransferBytes) / 1e6 / elapsed.Seconds())
+			}
+		}
+	})
+	cloud.Engine.Run()
+	return res
+}
+
+func indexOf(vms []*fabric.VM, v *fabric.VM) int {
+	for i, x := range vms {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// Anchors compares against the published Figs. 4 and 5 quantile claims.
+func (r *TCPResult) Anchors() []Anchor {
+	return []Anchor{
+		{"P(latency ≤ 1 ms)", "%", 50, r.LatencyMS.FracLE(1) * 100},
+		{"P(latency ≤ 2 ms)", "%", 75, r.LatencyMS.FracLE(2) * 100},
+		{"P(bandwidth ≥ 90 MB/s)", "%", 50, (1 - r.BandwidthMBps.FracLE(90)) * 100},
+		{"P(bandwidth ≤ 30 MB/s)", "%", 15, r.BandwidthMBps.FracLE(30) * 100},
+		{"max bandwidth (GigE cap)", "MB/s", 125, r.BandwidthMBps.Quantile(1)},
+	}
+}

@@ -1,0 +1,157 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+)
+
+// gigE is the host NIC line rate: 1 Gbit/s ≙ 125 MB/s (the cap visible in
+// the paper's Fig. 5).
+const gigE = 125 * netsim.MBps
+
+// Config sizes a simulated datacenter.
+type Config struct {
+	Hosts        int  // physical machines
+	HostsPerRack int  // rack width
+	Degradation  bool // run the host-degradation episode process
+	// DegradationConfig overrides DefaultDegradation when Degradation is on.
+	DegradationConfig *DegradationConfig
+}
+
+// DefaultConfig returns a datacenter big enough for the paper's 192-instance
+// experiments plus the ~200-instance ModisAzure deployment.
+func DefaultConfig() Config {
+	return Config{Hosts: 256, HostsPerRack: 32, Degradation: true}
+}
+
+// Datacenter assembles the physical plant: hosts, network fabric and the
+// degradation process. It also provides the inter-VM TCP latency and
+// bandwidth models behind Figs. 4 and 5.
+type Datacenter struct {
+	eng *sim.Engine
+	net *netsim.Fabric
+	rng *simrand.RNG
+
+	hosts        []*Host
+	hostsPerRack int
+	nextHost     int // placement cursor (rack-striding)
+
+	episodes uint64 // degradation episodes started
+
+	latencyDist simrand.Dist
+}
+
+// New builds a datacenter on the engine, seeding all of its stochastic
+// components from rng.
+func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Datacenter {
+	if cfg.Hosts <= 0 || cfg.HostsPerRack <= 0 {
+		panic(fmt.Sprintf("fabric: bad config %+v", cfg))
+	}
+	dc := &Datacenter{
+		eng:          eng,
+		net:          netsim.NewFabric(eng),
+		rng:          rng.Fork("fabric"),
+		hostsPerRack: cfg.HostsPerRack,
+	}
+	qrng := dc.rng.Fork("net-quality")
+	for i := 0; i < cfg.Hosts; i++ {
+		h := &Host{
+			ID:         i,
+			Rack:       i / cfg.HostsPerRack,
+			NIC:        dc.net.NewLink(fmt.Sprintf("host%d-nic", i), gigE),
+			netQuality: sampleNetQuality(qrng),
+			slowdown:   1,
+		}
+		dc.hosts = append(dc.hosts, h)
+	}
+	// Fig. 4: cumulative TCP latency between two small VMs. Knots express
+	// the published cumulative histogram: ~50% at 1 ms, 75% by 2 ms,
+	// a LAN-like mode, and a thin tail to tens of ms.
+	dc.latencyDist = simrand.NewEmpirical(
+		simrand.CDFPoint{Value: 0.0005, P: 0.02},
+		simrand.CDFPoint{Value: 0.001, P: 0.50},
+		simrand.CDFPoint{Value: 0.002, P: 0.75},
+		simrand.CDFPoint{Value: 0.004, P: 0.87},
+		simrand.CDFPoint{Value: 0.010, P: 0.96},
+		simrand.CDFPoint{Value: 0.040, P: 1.00},
+	)
+	if cfg.Degradation {
+		dcfg := DefaultDegradation()
+		if cfg.DegradationConfig != nil {
+			dcfg = *cfg.DegradationConfig
+		}
+		dc.startDegradation(dcfg)
+	}
+	return dc
+}
+
+// Engine returns the simulation engine.
+func (dc *Datacenter) Engine() *sim.Engine { return dc.eng }
+
+// Net returns the network fabric.
+func (dc *Datacenter) Net() *netsim.Fabric { return dc.net }
+
+// Hosts returns the physical hosts.
+func (dc *Datacenter) Hosts() []*Host { return dc.hosts }
+
+// Episodes returns the number of degradation episodes started so far.
+func (dc *Datacenter) Episodes() uint64 { return dc.episodes }
+
+// DegradedHosts returns how many hosts are currently degraded.
+func (dc *Datacenter) DegradedHosts() int {
+	n := 0
+	for _, h := range dc.hosts {
+		if h.Degraded() {
+			n++
+		}
+	}
+	return n
+}
+
+// placeVM picks a host with a rack-striding cursor: successive placements
+// land in different racks, approximating Azure's fault-domain spreading
+// (consecutive instances of a deployment must not share a failure unit).
+func (dc *Datacenter) placeVM() *Host {
+	n := len(dc.hosts)
+	stride := dc.hostsPerRack + 1
+	for gcd(stride, n) != 1 {
+		stride++
+	}
+	h := dc.hosts[(dc.nextHost*stride)%n]
+	dc.nextHost++
+	return h
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TCPLatency samples one inter-VM TCP roundtrip time (1-byte payload, Fig. 4
+// protocol).
+func (dc *Datacenter) TCPLatency(rng *simrand.RNG) time.Duration {
+	return time.Duration(dc.latencyDist.Sample(rng) * float64(time.Second))
+}
+
+// PairBandwidthLink returns a private link whose capacity models the network
+// path between two VMs: the GigE line rate scaled by the worse endpoint's
+// placement quality, with a small per-measurement jitter. Transfers between
+// the pair should traverse [a.NIC, link, b.NIC].
+func (dc *Datacenter) PairBandwidthLink(a, b *VM, rng *simrand.RNG) *netsim.Link {
+	q := a.Host.netQuality
+	if b.Host.netQuality < q {
+		q = b.Host.netQuality
+	}
+	jitter := simrand.Uniform{Lo: 0.97, Hi: 1.03}.Sample(rng)
+	capacity := netsim.Bandwidth(float64(gigE) * q * jitter)
+	if capacity > gigE {
+		capacity = gigE
+	}
+	return dc.net.NewLink("pair", capacity)
+}

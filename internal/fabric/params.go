@@ -1,0 +1,143 @@
+package fabric
+
+import "azureobs/internal/simrand"
+
+// Role is the Azure VM role type: web roles sit behind the load balancer and
+// run IIS; worker roles do not (Section 3 of the paper).
+type Role int
+
+// Role values.
+const (
+	Worker Role = iota
+	Web
+)
+
+func (r Role) String() string {
+	if r == Web {
+		return "Web"
+	}
+	return "Worker"
+}
+
+// Size is the Azure VM size (Section 4.1: small, medium, large, extra large).
+type Size int
+
+// Size values.
+const (
+	Small Size = iota
+	Medium
+	Large
+	ExtraLarge
+)
+
+func (s Size) String() string {
+	switch s {
+	case Small:
+		return "Small"
+	case Medium:
+		return "Medium"
+	case Large:
+		return "Large"
+	default:
+		return "ExtraLarge"
+	}
+}
+
+// Cores returns the CPU cores for a size; Azure CTP charged quota in cores
+// with a 20-core limit on normal accounts.
+func (s Size) Cores() int {
+	switch s {
+	case Small:
+		return 1
+	case Medium:
+		return 2
+	case Large:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// DefaultInstances returns the deployment size the paper used per VM size to
+// stay below the 20-core account limit while allowing doubling: 4 small,
+// 2 medium, 1 large, 1 extra large.
+func (s Size) DefaultInstances() int {
+	switch s {
+	case Small:
+		return 4
+	case Medium:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Stat is an (average, standard deviation) pair in seconds, as published in
+// Table 1.
+type Stat struct {
+	Avg, Std float64
+}
+
+// Dist returns a zero-truncated normal whose truncated mean matches the
+// published average (important for cells like "delete: 6 ± 5 s", where
+// naive truncation would inflate the mean by ~20%).
+func (s Stat) Dist() simrand.Dist { return simrand.PosNormalMean(s.Avg, s.Std) }
+
+// PhaseStats holds the five lifecycle phase statistics for one (role, size)
+// combination.
+type PhaseStats struct {
+	Create  Stat
+	Run     Stat
+	Add     Stat // zero Stat means N/A (extra large cannot double)
+	Suspend Stat
+	Delete  Stat
+}
+
+// HasAdd reports whether the Add phase is supported (the paper reports N/A
+// for extra-large deployments).
+func (ps PhaseStats) HasAdd() bool { return ps.Add.Avg > 0 }
+
+// phaseParams reproduces Table 1 of the paper verbatim: request times in
+// seconds for worker-role and web-role VMs of each size.
+var phaseParams = map[Role]map[Size]PhaseStats{
+	Worker: {
+		Small:      {Create: Stat{86, 27}, Run: Stat{533, 36}, Add: Stat{1026, 355}, Suspend: Stat{40, 30}, Delete: Stat{6, 5}},
+		Medium:     {Create: Stat{61, 10}, Run: Stat{591, 42}, Add: Stat{740, 176}, Suspend: Stat{37, 12}, Delete: Stat{5, 3}},
+		Large:      {Create: Stat{54, 11}, Run: Stat{660, 91}, Add: Stat{774, 137}, Suspend: Stat{35, 8}, Delete: Stat{6, 6}},
+		ExtraLarge: {Create: Stat{51, 9}, Run: Stat{790, 30}, Suspend: Stat{42, 19}, Delete: Stat{6, 5}},
+	},
+	Web: {
+		Small:      {Create: Stat{86, 17}, Run: Stat{594, 32}, Add: Stat{1132, 478}, Suspend: Stat{86, 14}, Delete: Stat{6, 2}},
+		Medium:     {Create: Stat{61, 10}, Run: Stat{637, 77}, Add: Stat{789, 181}, Suspend: Stat{92, 17}, Delete: Stat{6, 6}},
+		Large:      {Create: Stat{52, 9}, Run: Stat{679, 40}, Add: Stat{670, 155}, Suspend: Stat{94, 14}, Delete: Stat{5, 3}},
+		ExtraLarge: {Create: Stat{55, 16}, Run: Stat{827, 40}, Suspend: Stat{96, 3}, Delete: Stat{6, 8}},
+	},
+}
+
+// Params returns the published Table 1 statistics for a (role, size) pair.
+func Params(r Role, s Size) PhaseStats { return phaseParams[r][s] }
+
+// Calibration constants for the fabric controller, derived from the paper's
+// Section 4.1 observations.
+const (
+	// startupFailureRate is the observed VM startup failure rate (2.6%).
+	startupFailureRate = 0.026
+
+	// createSecPerMB is the package-size sensitivity of the create phase:
+	// "a 1.2 MB application starts 30 s faster than a 5 MB application"
+	// → ~7.9 s/MB around the default package.
+	createSecPerMB = 30.0 / 3.8
+
+	// defaultPackageMB is the package size at which Table 1's create stats
+	// were measured; create times shift by createSecPerMB around it.
+	defaultPackageMB = 5.0
+
+	// instanceLagLoSec/HiSec bound the readiness lag between consecutive
+	// instances of one deployment: "a 4 min lag between the 1st instance
+	// and the 4th instance" → ~80 s per gap.
+	instanceLagLoSec = 60.0
+	instanceLagHiSec = 100.0
+
+	// CoreQuota is the Azure CTP per-account core limit.
+	CoreQuota = 20
+)

@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"azureobs/internal/metrics"
+	"azureobs/internal/simrand"
+)
+
+func TestRoleAndSizeStrings(t *testing.T) {
+	if Worker.String() != "Worker" || Web.String() != "Web" {
+		t.Fatal("role strings wrong")
+	}
+	wants := map[Size]string{Small: "Small", Medium: "Medium", Large: "Large", ExtraLarge: "ExtraLarge"}
+	for s, w := range wants {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestVMStateStrings(t *testing.T) {
+	wants := map[VMState]string{
+		VMStopped: "stopped", VMStarting: "starting", VMReady: "ready",
+		VMSuspending: "suspending", VMDeleted: "deleted",
+	}
+	for s, w := range wants {
+		if s.String() != w {
+			t.Fatalf("state %d = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+// TestStatDistRecoversPublishedMoments samples every Table 1 cell's
+// distribution and checks the truncated mean lands on the published AVG —
+// including the high-variance cells (delete 6±5) where naive truncation
+// would bias upward.
+func TestStatDistRecoversPublishedMoments(t *testing.T) {
+	rng := simrand.New(5)
+	for _, role := range []Role{Worker, Web} {
+		for _, size := range []Size{Small, Medium, Large, ExtraLarge} {
+			ps := Params(role, size)
+			cells := map[string]Stat{
+				"create": ps.Create, "run": ps.Run,
+				"suspend": ps.Suspend, "delete": ps.Delete,
+			}
+			if ps.HasAdd() {
+				cells["add"] = ps.Add
+			}
+			for name, stat := range cells {
+				var s metrics.Summary
+				d := stat.Dist()
+				for i := 0; i < 20000; i++ {
+					s.Add(d.Sample(rng))
+				}
+				if math.Abs(s.Mean()-stat.Avg)/stat.Avg > 0.05 {
+					t.Fatalf("%v/%v/%s: sampled mean %.2f vs published %.2f",
+						role, size, name, s.Mean(), stat.Avg)
+				}
+				if s.Min() < 0 {
+					t.Fatalf("%v/%v/%s produced negative duration", role, size, name)
+				}
+			}
+		}
+	}
+}
+
+func TestDegradationConfigOverride(t *testing.T) {
+	eng, _ := newDC(t, false)
+	cfg := DefaultConfig()
+	cfg.Degradation = true
+	custom := DefaultDegradation()
+	custom.FracLo, custom.FracHi = 0.99, 1.0 // everything degrades
+	custom.MeanInterarrival = time.Minute    // almost immediately
+	custom.DurLo, custom.DurHi = time.Hour, 2*time.Hour
+	cfg.DegradationConfig = &custom
+	dc := New(eng, simrand.New(3), cfg)
+	eng.RunUntil(30 * time.Minute)
+	if dc.DegradedHosts() < len(dc.Hosts())*9/10 {
+		t.Fatalf("override ignored: %d/%d degraded", dc.DegradedHosts(), len(dc.Hosts()))
+	}
+}
+
+func TestPairBandwidthNeverExceedsGigE(t *testing.T) {
+	_, dc := newDC(t, false)
+	ctl := NewController(dc)
+	vms := ctl.ReadyFleet(20, Worker, Small)
+	rng := simrand.New(77)
+	for i := 0; i < 500; i++ {
+		l := dc.PairBandwidthLink(vms[i%20], vms[(i+1)%20], rng)
+		if float64(l.Capacity()) > 125e6+1 {
+			t.Fatalf("pair capacity %v exceeds GigE", l.Capacity())
+		}
+		if l.Capacity() <= 0 {
+			t.Fatal("non-positive pair capacity")
+		}
+	}
+}
+
+func TestBadDatacenterConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	New(nil, simrand.New(1), Config{Hosts: 0, HostsPerRack: 8})
+}

@@ -1,0 +1,68 @@
+package fabric
+
+import (
+	"time"
+
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+)
+
+// VMState is the externally visible instance status, matching the status
+// transitions the paper's test program polls ("stopped" → "ready").
+type VMState int
+
+// VMState values.
+const (
+	VMStopped VMState = iota
+	VMStarting
+	VMReady
+	VMSuspending
+	VMDeleted
+)
+
+func (s VMState) String() string {
+	switch s {
+	case VMStopped:
+		return "stopped"
+	case VMStarting:
+		return "starting"
+	case VMReady:
+		return "ready"
+	case VMSuspending:
+		return "suspending"
+	default:
+		return "deleted"
+	}
+}
+
+// VM is one role instance.
+type VM struct {
+	Name string
+	Role Role
+	Size Size
+	Host *Host
+
+	state   VMState
+	readyAt time.Duration // virtual time the instance last became ready
+}
+
+// State returns the instance status.
+func (vm *VM) State() VMState { return vm.state }
+
+// ReadyAt returns when the instance last transitioned to ready.
+func (vm *VM) ReadyAt() time.Duration { return vm.readyAt }
+
+// NIC returns the network link the VM sends and receives through (the host
+// GigE adapter, shared with co-located VMs).
+func (vm *VM) NIC() *netsim.Link { return vm.Host.NIC }
+
+// Execute runs CPU-bound work of nominal duration d on the VM, dilated by
+// the host's compute slowdown as sampled at start. It returns the actual
+// elapsed time. This dilation is what turns degradation episodes into the
+// paper's "VM task execution timeouts": a 4-6x slowdown stretches a 10-min
+// task past the 4x-mean kill threshold.
+func (vm *VM) Execute(p *sim.Proc, d time.Duration) time.Duration {
+	dilated := time.Duration(float64(d) * vm.Host.slowdown)
+	p.Sleep(dilated)
+	return dilated
+}

@@ -1,0 +1,54 @@
+package modis
+
+import (
+	"time"
+)
+
+// KillAblationPoint summarises one campaign run at a given kill multiple.
+type KillAblationPoint struct {
+	KillMultiple float64
+	// Timeouts is the number of executions killed by the monitor.
+	Timeouts uint64
+	// FalseKills counts kills of executions on healthy hosts (work the
+	// monitor threw away even though it would have finished normally).
+	FalseKills uint64
+	// WastedHours is compute burned by killed executions.
+	WastedHours float64
+	// TotalExecs is the campaign's execution count.
+	TotalExecs uint64
+}
+
+// RunKillAblation evaluates the Section 5.2 suggestion that "a good task
+// execution history may allow even tighter bounds than the 4-5x we used in
+// order to minimize wasted time": it runs identical campaigns at several
+// kill multiples and reports the waste/false-kill trade-off. Tighter bounds
+// kill degraded executions sooner (less wasted compute per kill) but begin
+// killing healthy stragglers; looser bounds waste more per kill.
+func RunKillAblation(base Config, multiples []float64) []KillAblationPoint {
+	if multiples == nil {
+		multiples = []float64{2, 3, 4, 6}
+	}
+	out := make([]KillAblationPoint, 0, len(multiples))
+	for _, k := range multiples {
+		cfg := base
+		cfg.KillMultiple = k
+		c := NewCampaign(cfg)
+		st := c.Run()
+		out = append(out, KillAblationPoint{
+			KillMultiple: k,
+			Timeouts:     st.Outcomes.Get(string(OutcomeVMTimeout)),
+			FalseKills:   st.FalseKills,
+			WastedHours:  st.WastedSeconds / 3600,
+			TotalExecs:   st.TotalExecs(),
+		})
+	}
+	return out
+}
+
+// recordKill accounts a killed execution for the ablation metrics.
+func (s *Stats) recordKill(threshold time.Duration, healthyHost bool) {
+	s.WastedSeconds += threshold.Seconds()
+	if healthyHost {
+		s.FalseKills++
+	}
+}

@@ -1,0 +1,77 @@
+package modis
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFullScaleCampaign reproduces Table 2 and Fig. 7 at the paper's actual
+// scale: 242 days, 200 workers, ~3 million task executions. It takes ~25 s;
+// skip with -short.
+func TestFullScaleCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale campaign skipped in -short mode")
+	}
+	st := NewCampaign(DefaultConfig()).Run()
+
+	if math.Abs(float64(st.TotalExecs())-3054430)/3054430 > 0.05 {
+		t.Fatalf("total executions = %d, paper 3,054,430 (>5%% off)", st.TotalExecs())
+	}
+	total := float64(st.TotalExecs())
+	share := func(name string) float64 { return float64(st.Outcomes.Get(name)) / total * 100 }
+
+	checks := []struct {
+		name   string
+		paper  float64
+		absTol float64
+	}{
+		{string(OutcomeSuccess), 65.50, 1.0},
+		{string(OutcomeUnknownFailure), 11.30, 0.5},
+		{string(OutcomeBlobExists), 5.98, 0.4},
+		{string(OutcomeNullLog), 4.57, 0.4},
+		{string(OutcomeDownloadFailed), 4.10, 0.4},
+		{string(OutcomeConnection), 0.29, 0.06},
+		{string(OutcomeOpTimeout), 0.14, 0.04},
+		{string(OutcomeCorruptBlob), 0.10, 0.03},
+	}
+	for _, c := range checks {
+		if got := share(c.name); math.Abs(got-c.paper) > c.absTol {
+			t.Errorf("%s share = %.2f%%, paper %.2f%%", c.name, got, c.paper)
+		}
+	}
+
+	// VM timeouts: ~0.17% of executions overall (tolerate 0.05-0.45%: the
+	// episode process is stochastic), with daily spikes in the 5-20% band
+	// and a majority of quiet days — the Fig. 7 shape.
+	ts := st.TimeoutShare() * 100
+	if ts < 0.05 || ts > 0.45 {
+		t.Errorf("VM timeout share = %.3f%%, paper 0.17%%", ts)
+	}
+	fig7 := st.Fig7Series()
+	if fig7.Max() < 5 || fig7.Max() > 25 {
+		t.Errorf("Fig 7 peak = %.1f%%, paper up to ~16%%", fig7.Max())
+	}
+	quiet := 0
+	for _, v := range fig7.Values {
+		if v == 0 {
+			quiet++
+		}
+	}
+	if float64(quiet)/float64(fig7.Len()) < 0.5 {
+		t.Errorf("only %d/%d quiet days; Fig 7 shows mostly-zero days with spikes", quiet, fig7.Len())
+	}
+
+	// Task mix within a point of the paper.
+	taskShare := func(ty TaskType) float64 {
+		return float64(st.TaskExecs.Get(ty.String())) / total * 100
+	}
+	if v := taskShare(Reprojection); math.Abs(v-55.79) > 1.5 {
+		t.Errorf("reprojection share = %.2f%%, paper 55.79%%", v)
+	}
+	if v := taskShare(Reduction); math.Abs(v-39.36) > 1.5 {
+		t.Errorf("reduction share = %.2f%%, paper 39.36%%", v)
+	}
+	if v := taskShare(SourceDownload); math.Abs(v-4.57) > 0.5 {
+		t.Errorf("download share = %.2f%%, paper 4.57%%", v)
+	}
+}

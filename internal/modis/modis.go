@@ -1,0 +1,533 @@
+package modis
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
+	"azureobs/internal/oplog"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/queuesvc"
+	"azureobs/internal/storage/tablesvc"
+)
+
+// Config parameterises a ModisAzure campaign. Zero fields take the
+// paper-scale defaults (Feb-Sep 2010: 242 days, ~200 workers, ~3.05M task
+// executions).
+type Config struct {
+	Seed    uint64
+	Days    int
+	Workers int
+
+	// MeanRequestGap is the mean portal inter-arrival time.
+	MeanRequestGap time.Duration
+	// MeanTasksPerRequest is the mean reprojection task count per request;
+	// the other stages scale from it (see stage ratios below).
+	MeanTasksPerRequest float64
+
+	// KillMultiple is the timeout monitor threshold in multiples of the
+	// task type's mean execution time (paper: 4x; effective kill happened
+	// at 4.5-6x due to detection latency, modelled by DetectLo/Hi).
+	KillMultiple       float64
+	DetectLo, DetectHi float64
+
+	// MaxAttempts caps executions per task including retries.
+	MaxAttempts int
+
+	// Degradation overrides the host-degradation episode process.
+	Degradation *fabric.DegradationConfig
+}
+
+// DefaultConfig is the paper-scale campaign.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                42,
+		Days:                242,
+		Workers:             200,
+		MeanRequestGap:      100 * time.Minute,
+		MeanTasksPerRequest: 450,
+		KillMultiple:        4,
+		DetectLo:            1.1,
+		DetectHi:            1.5,
+		MaxAttempts:         5,
+	}
+}
+
+// Stage ratios relative to a request's reprojection task count, derived from
+// Table 2's execution mix after removing retry inflation (see DESIGN.md).
+const (
+	downloadPerReproj    = 0.089
+	aggregationPerReproj = 0.0055
+	reductionPerReproj   = 0.76
+)
+
+// modisDegradation returns the episode process calibrated for Fig. 7: rare
+// episodes (about a dozen over the campaign) that strike 2-35% of hosts with
+// a 4-6.5x slowdown for 2-18 h, yielding an overall VM-timeout share of
+// ~0.17% of executions and daily spikes up to ~16%.
+func modisDegradation() fabric.DegradationConfig {
+	return fabric.DegradationConfig{
+		MeanInterarrival: 320 * time.Hour,
+		FracLo:           0.02,
+		FracHi:           0.42,
+		SlowLo:           4.0,
+		SlowHi:           7.0,
+		DurLo:            3 * time.Hour,
+		DurHi:            22 * time.Hour,
+	}
+}
+
+// Stats aggregates a campaign's observable outcomes.
+type Stats struct {
+	TaskExecs *metrics.CounterSet // executions per task type
+	Outcomes  *metrics.CounterSet // executions per Table 2 outcome class
+
+	DailyExecs    []uint64
+	DailyTimeouts []uint64
+
+	DistinctTasks uint64
+	Requests      uint64
+	Retries       uint64
+
+	// Kill-ablation metrics: compute burned by monitor-killed executions
+	// and kills of executions running on healthy hosts.
+	WastedSeconds float64
+	FalseKills    uint64
+
+	// CompletedRequests counts requests whose final stage drained (the
+	// user-notification event), and TurnaroundHours their submit-to-done
+	// latency distribution.
+	CompletedRequests uint64
+	TurnaroundHours   *metrics.Sample
+}
+
+// TotalExecs returns the total task execution count.
+func (s *Stats) TotalExecs() uint64 { return s.TaskExecs.Total() }
+
+// SuccessShare returns the fraction of executions recorded as Success.
+func (s *Stats) SuccessShare() float64 {
+	return float64(s.Outcomes.Get(string(OutcomeSuccess))) / float64(s.TotalExecs())
+}
+
+// TimeoutShare returns the fraction of executions killed by the VM timeout.
+func (s *Stats) TimeoutShare() float64 {
+	return float64(s.Outcomes.Get(string(OutcomeVMTimeout))) / float64(s.TotalExecs())
+}
+
+// Fig7Series returns the daily percentage of executions killed by the VM
+// timeout (days without executions report 0).
+func (s *Stats) Fig7Series() *metrics.TimeSeries {
+	ts := &metrics.TimeSeries{}
+	for d := range s.DailyExecs {
+		pct := 0.0
+		if s.DailyExecs[d] > 0 {
+			pct = float64(s.DailyTimeouts[d]) / float64(s.DailyExecs[d]) * 100
+		}
+		ts.Add(time.Duration(d)*24*time.Hour, pct)
+	}
+	return ts
+}
+
+// Campaign is one ModisAzure deployment run.
+type Campaign struct {
+	cfg   Config
+	cloud *azure.Cloud
+	rng   *simrand.RNG
+	Stats *Stats
+
+	// Log receives one record per task execution (the Section 6.3
+	// "logging and monitoring infrastructure"); Analyzer derives the
+	// Table 2 / Fig. 7 views from that stream, as the paper's authors did
+	// from their production logs.
+	Log      *oplog.Log
+	Analyzer *oplog.TaxonomyAnalyzer
+
+	queue   *taskQueue
+	workers []*fabric.VM
+
+	// Request intake (Fig. 6): portal → request table + service queue →
+	// service manager.
+	reqQueue  *queuesvc.Queue
+	reqTokens *sim.Queue[*Request]
+
+	nextTaskID uint64
+	nextReqID  uint64
+}
+
+// taskQueue couples the real Azure queue service with an instant wakeup
+// channel so idle workers do not busy-poll across months of simulated time.
+// (The production system polled; the token queue reproduces the same FIFO
+// delivery without 10^8 empty polls.)
+type taskQueue struct {
+	cloud  *azure.Cloud
+	q      *queuesvc.Queue
+	tokens *sim.Queue[uint64]
+	tasks  map[uint64]*Task
+}
+
+// NewCampaign assembles a campaign.
+func NewCampaign(cfg Config) *Campaign {
+	def := DefaultConfig()
+	if cfg.Days == 0 {
+		cfg.Days = def.Days
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.MeanRequestGap == 0 {
+		cfg.MeanRequestGap = def.MeanRequestGap
+	}
+	if cfg.MeanTasksPerRequest == 0 {
+		cfg.MeanTasksPerRequest = def.MeanTasksPerRequest
+	}
+	if cfg.KillMultiple == 0 {
+		cfg.KillMultiple = def.KillMultiple
+	}
+	if cfg.DetectLo == 0 {
+		cfg.DetectLo = def.DetectLo
+	}
+	if cfg.DetectHi == 0 {
+		cfg.DetectHi = def.DetectHi
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = def.MaxAttempts
+	}
+
+	ccfg := azure.Config{Seed: cfg.Seed}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = true
+	dcfg := modisDegradation()
+	if cfg.Degradation != nil {
+		dcfg = *cfg.Degradation
+	}
+	ccfg.Fabric.DegradationConfig = &dcfg
+	cloud := azure.NewCloud(ccfg)
+
+	c := &Campaign{
+		cfg:   cfg,
+		cloud: cloud,
+		rng:   simrand.New(cfg.Seed).Fork("modis"),
+		Stats: &Stats{
+			TaskExecs:       metrics.NewCounterSet(),
+			Outcomes:        metrics.NewCounterSet(),
+			DailyExecs:      make([]uint64, cfg.Days+1),
+			DailyTimeouts:   make([]uint64, cfg.Days+1),
+			TurnaroundHours: metrics.NewSample(4096),
+		},
+		workers:  cloud.Controller.ReadyFleet(cfg.Workers, fabric.Worker, fabric.Small),
+		Log:      oplog.New(256),
+		Analyzer: oplog.NewTaxonomyAnalyzer(string(OutcomeVMTimeout)),
+	}
+	c.Log.Subscribe(c.Analyzer.Sink())
+	c.queue = &taskQueue{
+		cloud:  cloud,
+		q:      cloud.Queue.CreateQueue("modis-tasks"),
+		tokens: sim.NewQueue[uint64](),
+		tasks:  make(map[uint64]*Task),
+	}
+	// The request path of Fig. 6: the portal stores each request in an
+	// Azure table and enqueues it on a service queue watched by the
+	// service manager.
+	cloud.Table.CreateTable("modis-requests")
+	c.reqQueue = cloud.Queue.CreateQueue("modis-requests")
+	c.reqTokens = sim.NewQueue[*Request]()
+	// Pre-register Table 2's row order so reports are stable even for
+	// classes that never occur at small scale.
+	for _, ty := range []TaskType{SourceDownload, Aggregation, Reprojection, Reduction} {
+		c.Stats.TaskExecs.Inc(ty.String(), 0)
+	}
+	_, oc := paperTable2()
+	for _, o := range table2OutcomeOrder() {
+		if _, ok := oc[o]; ok {
+			c.Stats.Outcomes.Inc(string(o), 0)
+		}
+	}
+	c.Stats.Outcomes.Inc(string(OutcomeUserCode), 0)
+	return c
+}
+
+// table2OutcomeOrder lists the outcome classes in Table 2's printed order.
+func table2OutcomeOrder() []Outcome {
+	return []Outcome{
+		OutcomeSuccess, OutcomeUnknownFailure, OutcomeBlobExists,
+		OutcomeNullLog, OutcomeDownloadFailed, OutcomeConnection,
+		OutcomeVMTimeout, OutcomeOpTimeout, OutcomeCorruptBlob,
+		OutcomeServerBusy, OutcomeBlobReadFail, OutcomeNoSourceBlob,
+		OutcomeUnreadableFile, OutcomeBadImage, OutcomeTransport,
+		OutcomeInternalClient, OutcomeOutOfDisk,
+	}
+}
+
+// Cloud exposes the underlying cloud (tests and the CLI use it).
+func (c *Campaign) Cloud() *azure.Cloud { return c.cloud }
+
+// Run executes the campaign for its configured horizon.
+func (c *Campaign) Run() *Stats {
+	c.cloud.Engine.Spawn("portal", c.portal)
+	c.cloud.Engine.SpawnDaemon("service-manager", c.serviceManager)
+	for i, vm := range c.workers {
+		vm := vm
+		c.cloud.Engine.Spawn(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
+			c.workerLoop(p, vm, i)
+		})
+	}
+	c.cloud.Engine.RunUntil(time.Duration(c.cfg.Days) * 24 * time.Hour)
+	return c.Stats
+}
+
+// portal generates user requests for the campaign horizon.
+func (c *Campaign) portal(p *sim.Proc) {
+	gap := simrand.Exponential{Rate: 1 / c.cfg.MeanRequestGap.Seconds()}
+	sizeDist := simrand.LogNormalMeanCV(c.cfg.MeanTasksPerRequest, 1.0)
+	rng := c.rng.Fork("portal")
+	horizon := time.Duration(c.cfg.Days) * 24 * time.Hour
+	for {
+		next := simrand.Duration(gap, rng)
+		if p.Now()+next >= horizon {
+			return
+		}
+		p.Sleep(next)
+		c.submitRequest(p, rng, sizeDist)
+	}
+}
+
+// submitRequest performs the portal's side of Fig. 6: persist the request
+// in the Azure table, enqueue it on the service queue, and wake the service
+// manager.
+func (c *Campaign) submitRequest(p *sim.Proc, rng *simrand.RNG, sizeDist simrand.Dist) {
+	c.nextReqID++
+	req := &Request{ID: c.nextReqID, submitted: p.Now()}
+	nReproj := int(sizeDist.Sample(rng))
+	if nReproj < 1 {
+		nReproj = 1
+	}
+	req.planned = nReproj
+	reqEntity := &tablesvc.Entity{
+		PartitionKey: "requests",
+		RowKey:       fmt.Sprintf("req-%08d", req.ID),
+		Props: map[string]tablesvc.Prop{
+			"Reprojections": tablesvc.IntProp(int64(nReproj)),
+			"Status":        tablesvc.StrProp("submitted"),
+		},
+	}
+	if err := c.cloud.Table.Insert(p, "modis-requests", reqEntity); err != nil {
+		panic(err)
+	}
+	if _, err := c.cloud.Queue.Add(p, c.reqQueue, fmt.Sprintf("%d", req.ID), 512); err != nil {
+		panic(err)
+	}
+	c.reqTokens.Put(req)
+	c.Stats.Requests++
+}
+
+// serviceManager drains the service queue, expanding each request into its
+// staged task set and releasing the first stage — the "service manager
+// which manages the execution of the requests and their associated tasks"
+// of Section 5.1.
+func (c *Campaign) serviceManager(p *sim.Proc) {
+	rng := c.rng.Fork("manager")
+	for {
+		req := c.reqTokens.Get(p)
+		msg, rcpt, ok, err := c.cloud.Queue.Receive(p, c.reqQueue, 2*time.Hour)
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			continue
+		}
+		if err := c.cloud.Queue.Delete(p, c.reqQueue, rcpt); err != nil {
+			panic(err)
+		}
+		_ = msg
+		c.expandRequest(p, req, rng)
+	}
+}
+
+// expandRequest turns a request into staged tasks and releases the first
+// stage.
+func (c *Campaign) expandRequest(p *sim.Proc, req *Request, rng *simrand.RNG) {
+	nReproj := req.planned
+	counts := [numTaskTypes]int{}
+	counts[SourceDownload] = int(float64(nReproj)*downloadPerReproj + rng.Float64())
+	counts[Aggregation] = int(float64(nReproj)*aggregationPerReproj + rng.Float64())
+	counts[Reprojection] = nReproj
+	counts[Reduction] = int(float64(nReproj)*reductionPerReproj + rng.Float64())
+	wrng := c.rng.ForkN("work", int(req.ID))
+	for _, ty := range stageOrder() {
+		work := nominalWork(ty)
+		for i := 0; i < counts[ty]; i++ {
+			c.nextTaskID++
+			t := &Task{
+				ID:      c.nextTaskID,
+				Type:    ty,
+				Request: req,
+				Work:    simrand.Duration(work, wrng),
+			}
+			req.tasks[ty] = append(req.tasks[ty], t)
+		}
+		req.remaining[ty] = counts[ty]
+		c.Stats.DistinctTasks += uint64(counts[ty])
+	}
+	c.releaseStage(p, req, 0)
+}
+
+// stageOrder is the pipeline order: collection precedes reprojection, which
+// precedes aggregation, which precedes reduction (Section 5.1).
+func stageOrder() []TaskType {
+	return []TaskType{SourceDownload, Reprojection, Aggregation, Reduction}
+}
+
+// releaseStage enqueues the first non-empty stage at or after idx. When no
+// stage remains the request is complete: the user is notified and the
+// turnaround recorded ("upon completion ... an email is sent to the user",
+// Section 5.1).
+func (c *Campaign) releaseStage(p *sim.Proc, req *Request, idx int) {
+	order := stageOrder()
+	for ; idx < len(order); idx++ {
+		ty := order[idx]
+		if req.remaining[ty] > 0 {
+			for _, t := range req.tasks[ty] {
+				c.queue.enqueue(p, t)
+			}
+			return
+		}
+	}
+	c.Stats.CompletedRequests++
+	c.Stats.TurnaroundHours.Add((p.Now() - req.submitted).Hours())
+}
+
+// stageIndex returns a type's position in the pipeline order.
+func stageIndex(ty TaskType) int {
+	for i, t := range stageOrder() {
+		if t == ty {
+			return i
+		}
+	}
+	return -1
+}
+
+// workerLoop pulls tasks forever; RunUntil bounds the campaign.
+func (c *Campaign) workerLoop(p *sim.Proc, vm *fabric.VM, id int) {
+	rng := c.rng.ForkN("worker", id)
+	for {
+		task := c.queue.dequeue(p)
+		c.execute(p, vm, task, rng)
+	}
+}
+
+// execute runs one task execution on a VM and records its outcome.
+func (c *Campaign) execute(p *sim.Proc, vm *fabric.VM, task *Task, rng *simrand.RNG) {
+	task.Attempts++
+	day := int(p.Now() / (24 * time.Hour))
+	if day >= len(c.Stats.DailyExecs) {
+		day = len(c.Stats.DailyExecs) - 1
+	}
+
+	// Status-tracking overhead per execution (queue delete, table update):
+	// folded into the execution time to keep the event count linear.
+	overhead := simrand.Duration(simrand.LogNormalMeanCV(0.4, 0.3), rng)
+
+	// Execution time: the task's nominal work, dilated by the host's
+	// current slowdown, with small per-execution noise. The monitor kills
+	// at KillMultiple x the task's own expected duration ("4x the average
+	// completion time for that task", Section 5.2), plus detection latency
+	// — so on healthy hosts nothing is killed, and a 4-6.5x degraded host
+	// pushes most of its tasks past the threshold.
+	noise := simrand.LogNormalMeanCV(1, 0.08).Sample(rng)
+	dilated := time.Duration(float64(task.Work) * vm.Host.Slowdown() * noise)
+	threshold := time.Duration(c.cfg.KillMultiple * float64(task.Work) *
+		simrand.Uniform{Lo: c.cfg.DetectLo, Hi: c.cfg.DetectHi}.Sample(rng))
+
+	var outcome Outcome
+	if dilated > threshold {
+		// The task monitor kills the execution at the threshold and
+		// reschedules the task (Section 5.2).
+		p.Sleep(threshold + overhead)
+		outcome = OutcomeVMTimeout
+		c.Stats.DailyTimeouts[day]++
+		c.Stats.recordKill(threshold, !vm.Host.Degraded())
+	} else {
+		p.Sleep(dilated + overhead)
+		outcome = sampleOutcome(task.Type, rng)
+	}
+	// Executions are recorded on completion (as the production system's
+	// logs were); the day bucket is the start day, where the bulk of the
+	// execution ran.
+	c.Stats.TaskExecs.Inc(task.Type.String(), 1)
+	c.Stats.DailyExecs[day]++
+	c.Stats.Outcomes.Inc(string(outcome), 1)
+	sev := oplog.Info
+	if !outcome.Completes() {
+		sev = oplog.Error
+	}
+	c.Log.Emit(oplog.Record{
+		Time:     p.Now(),
+		Severity: sev,
+		Source:   vm.Name,
+		Category: task.Type.String(),
+		Event:    string(outcome),
+		Detail:   fmt.Sprintf("task %d attempt %d", task.ID, task.Attempts),
+	})
+
+	switch {
+	case outcome.Completes():
+		c.finishTask(p, task)
+	case outcome.Retryable() && task.Attempts < c.cfg.MaxAttempts:
+		c.Stats.Retries++
+		c.queue.enqueue(p, task)
+	default:
+		// Terminal failure: the pipeline gives up on this task; the request
+		// still progresses (partial products, as in the real system).
+		c.finishTask(p, task)
+	}
+}
+
+// finishTask retires a task and releases the next stage when its stage
+// drains.
+func (c *Campaign) finishTask(p *sim.Proc, task *Task) {
+	req := task.Request
+	req.remaining[task.Type]--
+	if req.remaining[task.Type] == 0 {
+		c.releaseStage(p, req, stageIndex(task.Type)+1)
+	}
+	req.tasks[task.Type] = nil // allow the task memory to be reclaimed
+}
+
+// enqueue adds a task to the service queue and wakes one worker.
+func (b *taskQueue) enqueue(p *sim.Proc, t *Task) {
+	b.tasks[t.ID] = t
+	if _, err := b.cloud.Queue.Add(p, b.q, strconv.FormatUint(t.ID, 10), 1024); err != nil {
+		panic(err)
+	}
+	b.tokens.Put(t.ID)
+}
+
+// dequeue blocks until a task is available, then performs the real queue
+// receive + delete (explicit status tracking makes the visibility timeout a
+// backstop only).
+func (b *taskQueue) dequeue(p *sim.Proc) *Task {
+	for {
+		b.tokens.Get(p)
+		msg, rcpt, ok, err := b.cloud.Queue.Receive(p, b.q, 2*time.Hour)
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			continue // token raced a message already consumed
+		}
+		if err := b.cloud.Queue.Delete(p, b.q, rcpt); err != nil {
+			panic(err)
+		}
+		id, err := strconv.ParseUint(msg.Body, 10, 64)
+		if err != nil {
+			panic(err)
+		}
+		t := b.tasks[id]
+		delete(b.tasks, id)
+		return t
+	}
+}

@@ -1,0 +1,47 @@
+package modis
+
+import (
+	"azureobs/internal/core"
+)
+
+// Anchors compares the campaign's observed task mix and failure taxonomy
+// against the published Table 2 shares (percent of total executions) and the
+// Fig. 7 claims.
+func (s *Stats) Anchors() []core.Anchor {
+	total := float64(s.TotalExecs())
+	if total == 0 {
+		return nil
+	}
+	taskCounts, outcomeCounts := paperTable2()
+	paperTotal := 0.0
+	for _, v := range taskCounts {
+		paperTotal += float64(v)
+	}
+	var out []core.Anchor
+	for _, ty := range []TaskType{SourceDownload, Aggregation, Reprojection, Reduction} {
+		out = append(out, core.Anchor{
+			Name:     "task share: " + ty.String(),
+			Unit:     "%",
+			Paper:    float64(taskCounts[ty]) / paperTotal * 100,
+			Measured: float64(s.TaskExecs.Get(ty.String())) / total * 100,
+		})
+	}
+	for _, o := range []Outcome{
+		OutcomeSuccess, OutcomeUnknownFailure, OutcomeBlobExists,
+		OutcomeNullLog, OutcomeDownloadFailed, OutcomeConnection,
+		OutcomeVMTimeout, OutcomeOpTimeout, OutcomeCorruptBlob,
+	} {
+		out = append(out, core.Anchor{
+			Name:     "outcome share: " + string(o),
+			Unit:     "%",
+			Paper:    float64(outcomeCounts[o]) / paperTotal * 100,
+			Measured: float64(s.Outcomes.Get(string(o))) / total * 100,
+		})
+	}
+	fig7 := s.Fig7Series()
+	out = append(out, core.Anchor{
+		Name: "Fig 7 peak daily timeout share", Unit: "%",
+		Paper: 16, Measured: fig7.Max(),
+	})
+	return out
+}

@@ -1,0 +1,319 @@
+// Package netsim models the datacenter network as a fluid, flow-level
+// system: transfers are flows traversing a path of links, and the rate of
+// every active flow is the progressive-filling max-min fair allocation over
+// link capacities. When the flow set changes, rates are recomputed and every
+// flow's completion event is rescheduled.
+//
+// Links may carry a concurrency-dependent effective capacity
+// (SetCapacityFn), which is how the calibrated "black box" overheads of the
+// paper's storage front-ends are expressed: the paper measured aggregate
+// service bandwidth that grows sub-linearly and eventually peaks as client
+// count rises, without being able to attribute the loss to any internal
+// component (Section 3.1).
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"azureobs/internal/sim"
+)
+
+// Bandwidth is expressed in bytes per second. The paper reports MB/s with
+// decimal megabytes (1 Gbit/s Ethernet ≙ 125 MB/s), so MBps = 1e6 B/s.
+type Bandwidth float64
+
+// Common bandwidth units.
+const (
+	Bps  Bandwidth = 1
+	KBps           = 1000 * Bps
+	MBps           = 1000 * KBps
+	GBps           = 1000 * MBps
+)
+
+// MB is a convenience for sizing transfers in decimal megabytes.
+const MB int64 = 1_000_000
+
+// GB is a convenience for sizing transfers in decimal gigabytes.
+const GB int64 = 1_000_000_000
+
+// Link is one capacity-constrained network segment: a VM NIC, a storage
+// front-end's egress trunk, a rack uplink.
+type Link struct {
+	name  string
+	cap   Bandwidth
+	capFn func(nflows int) Bandwidth
+
+	nflows int // active flows crossing this link
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link's nominal capacity.
+func (l *Link) Capacity() Bandwidth { return l.cap }
+
+// Flows returns the number of active flows crossing the link.
+func (l *Link) Flows() int { return l.nflows }
+
+// SetCapacityFn installs a concurrency-dependent effective capacity. When
+// set, it overrides the nominal capacity whenever at least one flow is
+// active. Effective capacity must be positive for every n ≥ 1.
+func (l *Link) SetCapacityFn(fn func(nflows int) Bandwidth) { l.capFn = fn }
+
+// effectiveCap returns the capacity available to n concurrent flows.
+func (l *Link) effectiveCap(n int) Bandwidth {
+	if l.capFn != nil {
+		return l.capFn(n)
+	}
+	return l.cap
+}
+
+// Flow is one active transfer.
+type Flow struct {
+	path      []*Link
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, assigned by the solver
+	updated   time.Duration
+	completed bool
+	done      sim.Signal
+	complete  *sim.Event
+}
+
+// Rate returns the flow's current max-min fair rate in bytes/sec.
+func (f *Flow) Rate() Bandwidth { return Bandwidth(f.rate) }
+
+// Remaining returns the bytes not yet delivered (as of the last settle).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Fabric owns the links and active flows of one simulated network and keeps
+// the max-min allocation current as flows come and go.
+type Fabric struct {
+	eng   *sim.Engine
+	flows []*Flow
+}
+
+// NewFabric creates an empty network bound to the engine.
+func NewFabric(eng *sim.Engine) *Fabric {
+	return &Fabric{eng: eng}
+}
+
+// NewLink creates a link with the given nominal capacity (> 0).
+func (f *Fabric) NewLink(name string, capacity Bandwidth) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: link %q capacity %v", name, capacity))
+	}
+	return &Link{name: name, cap: capacity}
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+
+// Transfer moves size bytes across the given path, blocking the calling
+// process until the last byte arrives, and returns the elapsed virtual time.
+// A killed process abandons the transfer; the flow is withdrawn and the
+// bandwidth it held is redistributed.
+func (f *Fabric) Transfer(p *sim.Proc, size int64, path ...*Link) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	start := p.Now()
+	fl := f.StartFlow(size, path...)
+	defer func() {
+		if rec := recover(); rec != nil {
+			f.abandon(fl)
+			panic(rec)
+		}
+	}()
+	fl.done.Wait(p)
+	return p.Now() - start
+}
+
+// StartFlow injects a flow without blocking. The returned flow's done signal
+// fires on completion. Most callers want Transfer; StartFlow exists for
+// event-driven users and tests.
+func (f *Fabric) StartFlow(size int64, path ...*Link) *Flow {
+	if len(path) == 0 {
+		panic("netsim: flow with empty path")
+	}
+	fl := &Flow{path: path, remaining: float64(size), updated: f.eng.Now()}
+	f.settle()
+	f.flows = append(f.flows, fl)
+	for _, l := range path {
+		l.nflows++
+	}
+	f.reallocate()
+	return fl
+}
+
+// abandon withdraws an incomplete flow (killed sender).
+func (f *Fabric) abandon(fl *Flow) {
+	if fl.completed {
+		return
+	}
+	f.settle()
+	f.remove(fl)
+	f.reallocate()
+}
+
+func (f *Fabric) remove(fl *Flow) {
+	fl.completed = true
+	if fl.complete != nil {
+		f.eng.Cancel(fl.complete)
+		fl.complete = nil
+	}
+	for i, x := range f.flows {
+		if x == fl {
+			f.flows = append(f.flows[:i], f.flows[i+1:]...)
+			break
+		}
+	}
+	for _, l := range fl.path {
+		l.nflows--
+	}
+}
+
+// settle credits every active flow with the bytes moved since the last rate
+// change.
+func (f *Fabric) settle() {
+	now := f.eng.Now()
+	for _, fl := range f.flows {
+		dt := (now - fl.updated).Seconds()
+		if dt > 0 && fl.rate > 0 {
+			fl.remaining -= fl.rate * dt
+			if fl.remaining < 0 {
+				fl.remaining = 0
+			}
+		}
+		fl.updated = now
+	}
+}
+
+// reallocate computes the max-min fair rates by progressive filling and
+// reschedules every flow's completion event.
+func (f *Fabric) reallocate() {
+	if len(f.flows) == 0 {
+		return
+	}
+	// Collect the links in use.
+	type linkState struct {
+		link   *Link
+		capRem float64
+		unfix  int
+	}
+	states := make(map[*Link]*linkState)
+	for _, fl := range f.flows {
+		for _, l := range fl.path {
+			st, ok := states[l]
+			if !ok {
+				st = &linkState{link: l, capRem: float64(l.effectiveCap(l.nflows))}
+				states[l] = st
+			}
+			st.unfix++
+		}
+	}
+	fixed := make(map[*Flow]bool, len(f.flows))
+	for len(fixed) < len(f.flows) {
+		// Find the bottleneck: the link whose fair share for its unfixed
+		// flows is smallest. Iterate flows (deterministic order) rather than
+		// the map to pick ties stably.
+		var bottleneck *linkState
+		share := math.Inf(1)
+		for _, fl := range f.flows {
+			if fixed[fl] {
+				continue
+			}
+			for _, l := range fl.path {
+				st := states[l]
+				if st.unfix == 0 {
+					continue
+				}
+				s := st.capRem / float64(st.unfix)
+				if s < share {
+					share = s
+					bottleneck = st
+				}
+			}
+		}
+		if bottleneck == nil {
+			// No constraining link (cannot happen with non-empty paths).
+			for _, fl := range f.flows {
+				if !fixed[fl] {
+					fl.rate = math.Inf(1)
+					fixed[fl] = true
+				}
+			}
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		for _, fl := range f.flows {
+			if fixed[fl] {
+				continue
+			}
+			onBottleneck := false
+			for _, l := range fl.path {
+				if states[l] == bottleneck {
+					onBottleneck = true
+					break
+				}
+			}
+			if !onBottleneck {
+				continue
+			}
+			fl.rate = share
+			fixed[fl] = true
+			for _, l := range fl.path {
+				st := states[l]
+				st.capRem -= share
+				if st.capRem < 0 {
+					st.capRem = 0
+				}
+				st.unfix--
+			}
+		}
+	}
+	f.reschedule()
+}
+
+// reschedule cancels and re-creates each flow's completion event from its
+// current remaining bytes and rate.
+func (f *Fabric) reschedule() {
+	now := f.eng.Now()
+	for _, fl := range f.flows {
+		fl := fl
+		if fl.complete != nil {
+			f.eng.Cancel(fl.complete)
+			fl.complete = nil
+		}
+		if fl.rate <= 0 {
+			continue // stalled; a future reallocate will revive it
+		}
+		var at time.Duration
+		if math.IsInf(fl.rate, 1) || fl.remaining <= 0.5 {
+			at = now
+		} else {
+			at = now + time.Duration(fl.remaining/fl.rate*float64(time.Second))
+			if at < now {
+				at = now
+			}
+		}
+		fl.complete = f.eng.Schedule(at, func() { f.onComplete(fl) })
+	}
+}
+
+func (f *Fabric) onComplete(fl *Flow) {
+	fl.complete = nil
+	f.settle()
+	if fl.remaining > 0.5 {
+		// Prediction went stale (rates changed at this same instant);
+		// reallocate will reschedule.
+		f.reallocate()
+		return
+	}
+	f.remove(fl)
+	fl.done.Fire()
+	f.reallocate()
+}

@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProfilePoint is one knot of a concurrency→capacity calibration curve.
+type ProfilePoint struct {
+	N        int       // concurrent flows
+	Capacity Bandwidth // effective aggregate capacity at N flows
+}
+
+// CapacityProfile builds a concurrency-dependent effective-capacity function
+// from calibration knots, interpolating linearly in log2(n) between them and
+// clamping outside the knot range. This is the shape used to encode the
+// paper's measured aggregate service bandwidth curves (e.g. blob download:
+// NIC-bound to 8 clients, ~208 MB/s at 32, peaking at ~393 MB/s at 128).
+//
+// Knots must have strictly increasing N ≥ 1 and positive capacities.
+func CapacityProfile(points ...ProfilePoint) func(nflows int) Bandwidth {
+	if len(points) == 0 {
+		panic("netsim: empty capacity profile")
+	}
+	for i, p := range points {
+		if p.N < 1 || p.Capacity <= 0 {
+			panic(fmt.Sprintf("netsim: bad profile point %+v", p))
+		}
+		if i > 0 && p.N <= points[i-1].N {
+			panic("netsim: profile points must have increasing N")
+		}
+	}
+	pts := append([]ProfilePoint(nil), points...)
+	return func(n int) Bandwidth {
+		if n < 1 {
+			n = 1
+		}
+		if n <= pts[0].N {
+			return pts[0].Capacity
+		}
+		last := pts[len(pts)-1]
+		if n >= last.N {
+			return last.Capacity
+		}
+		for i := 1; i < len(pts); i++ {
+			if n <= pts[i].N {
+				a, b := pts[i-1], pts[i]
+				fa, fb := math.Log2(float64(a.N)), math.Log2(float64(b.N))
+				frac := (math.Log2(float64(n)) - fa) / (fb - fa)
+				return a.Capacity + Bandwidth(frac)*(b.Capacity-a.Capacity)
+			}
+		}
+		return last.Capacity
+	}
+}

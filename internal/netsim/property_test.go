@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"azureobs/internal/sim"
+)
+
+// buildRandomScenario creates links and flows from fuzz input and returns
+// the fabric with all flows injected (no engine run yet).
+func buildRandomScenario(seed uint64, nLinksRaw, nFlowsRaw uint8) (*Fabric, []*Flow, []*Link) {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	nLinks := int(nLinksRaw%6) + 1
+	nFlows := int(nFlowsRaw%24) + 1
+	links := make([]*Link, nLinks)
+	for i := range links {
+		links[i] = fab.NewLink("l", Bandwidth(1+rng.Float64()*99)*MBps)
+	}
+	flows := make([]*Flow, nFlows)
+	for i := range flows {
+		// Random non-empty path of 1-3 distinct links.
+		pathLen := rng.IntN(3) + 1
+		if pathLen > nLinks {
+			pathLen = nLinks
+		}
+		perm := rng.Perm(nLinks)
+		path := make([]*Link, pathLen)
+		for j := 0; j < pathLen; j++ {
+			path[j] = links[perm[j]]
+		}
+		flows[i] = fab.StartFlow(int64(1+rng.IntN(1000))*MB, path...)
+	}
+	return fab, flows, links
+}
+
+// Property: the max-min allocation never oversubscribes any link, and every
+// flow gets a strictly positive rate.
+func TestPropertyMaxMinFeasibleAndLive(t *testing.T) {
+	f := func(seed uint64, nl, nf uint8) bool {
+		_, flows, links := buildRandomScenario(seed, nl, nf)
+		loads := map[*Link]float64{}
+		for _, fl := range flows {
+			if fl.rate <= 0 {
+				return false // starvation
+			}
+			for _, l := range fl.path {
+				loads[l] += fl.rate
+			}
+		}
+		for _, l := range links {
+			if load, ok := loads[l]; ok {
+				if load > float64(l.effectiveCap(l.nflows))*(1+1e-9) {
+					return false // oversubscribed
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the allocation is max-min fair in the Pareto sense — every flow
+// is bottlenecked by at least one saturated link on its path (no flow could
+// be sped up without slowing another).
+func TestPropertyEveryFlowBottlenecked(t *testing.T) {
+	f := func(seed uint64, nl, nf uint8) bool {
+		_, flows, _ := buildRandomScenario(seed, nl, nf)
+		loads := map[*Link]float64{}
+		for _, fl := range flows {
+			for _, l := range fl.path {
+				loads[l] += fl.rate
+			}
+		}
+		for _, fl := range flows {
+			saturated := false
+			for _, l := range fl.path {
+				if loads[l] >= float64(l.effectiveCap(l.nflows))*(1-1e-6) {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flows sharing an identical path receive equal rates.
+func TestPropertyEqualPathEqualRate(t *testing.T) {
+	f := func(seed uint64, nFlowsRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		eng := sim.NewEngine()
+		fab := NewFabric(eng)
+		a := fab.NewLink("a", Bandwidth(1+rng.Float64()*50)*MBps)
+		b := fab.NewLink("b", Bandwidth(1+rng.Float64()*50)*MBps)
+		n := int(nFlowsRaw%10) + 2
+		flows := make([]*Flow, n)
+		for i := range flows {
+			flows[i] = fab.StartFlow(int64(1+rng.IntN(100))*MB, a, b)
+		}
+		first := flows[0].rate
+		for _, fl := range flows[1:] {
+			if diff := fl.rate - first; diff > 1e-6*first || diff < -1e-6*first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total delivered bytes equal total injected bytes once every
+// transfer completes, and the elapsed time respects the tightest link.
+func TestPropertyConservationUnderChurn(t *testing.T) {
+	f := func(seed uint64, nFlowsRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		eng := sim.NewEngine()
+		fab := NewFabric(eng)
+		trunk := fab.NewLink("trunk", Bandwidth(10+rng.Float64()*90)*MBps)
+		n := int(nFlowsRaw%12) + 1
+		var totalBytes int64
+		var last time.Duration
+		done := 0
+		for i := 0; i < n; i++ {
+			size := int64(1+rng.IntN(200)) * MB
+			start := time.Duration(rng.IntN(10000)) * time.Millisecond
+			totalBytes += size
+			eng.SpawnAt(start, "tx", func(p *sim.Proc) {
+				fab.Transfer(p, size, trunk)
+				done++
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		eng.Run()
+		if done != n || fab.ActiveFlows() != 0 {
+			return false
+		}
+		// All bytes crossed one link: elapsed ≥ bytes/capacity.
+		minTime := float64(totalBytes) / float64(trunk.Capacity())
+		return last.Seconds() >= minTime*(1-1e-9)-0.011
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

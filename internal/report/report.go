@@ -1,0 +1,200 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// CDF/series plots and CSV — the output layer of cmd/azbench and
+// cmd/modisazure.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"azureobs/internal/metrics"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		cells = cells[:len(t.Headers)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			parts[i] = v
+		case float64:
+			parts[i] = fmt.Sprintf(format, v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(parts...)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// CDFPlot renders a sample's cumulative distribution as an ASCII plot:
+// probability on the y axis, value on the x axis.
+func CDFPlot(w io.Writer, title, xlabel string, s *metrics.Sample, width, height int) {
+	if s.N() == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	lo, hi := s.Quantile(0), s.Quantile(1)
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for row := height; row >= 1; row-- {
+		p := float64(row) / float64(height)
+		v := s.Quantile(p)
+		pos := int((v - lo) / (hi - lo) * float64(width-1))
+		fmt.Fprintf(w, "%5.2f |%s*\n", p, strings.Repeat(" ", pos))
+	}
+	fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "       %-12.4g%s%12.4g  (%s)\n", lo,
+		strings.Repeat(" ", max(0, width-24)), hi, xlabel)
+}
+
+// SeriesPlot renders a time series as a vertical-bar ASCII chart (one column
+// per point, downsampled to width).
+func SeriesPlot(w io.Writer, title, ylabel string, ts *metrics.TimeSeries, width, height int) {
+	n := ts.Len()
+	if n == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if width <= 0 || width > n {
+		width = n
+	}
+	if height <= 0 {
+		height = 10
+	}
+	// Downsample by max within buckets (spikes must stay visible).
+	vals := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * n / width
+		hi := (i + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := math.Inf(-1)
+		for j := lo; j < hi && j < n; j++ {
+			if ts.Values[j] > m {
+				m = ts.Values[j]
+			}
+		}
+		vals[i] = m
+	}
+	peak := ts.Max()
+	if peak <= 0 {
+		peak = 1
+	}
+	fmt.Fprintf(w, "%s  (peak %.2f %s)\n", title, ts.Max(), ylabel)
+	for row := height; row >= 1; row-- {
+		cut := float64(row) / float64(height) * peak
+		var b strings.Builder
+		for _, v := range vals {
+			if v >= cut && v > 0 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(w, "%8.2f |%s\n", cut, b.String())
+	}
+	fmt.Fprintf(w, "         +%s\n", strings.Repeat("-", width))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"azureobs/internal/metrics"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long-name", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Aligned: both data rows have the value column at the same offset.
+	if strings.Index(lines[3], "1") != strings.Index(lines[1], "value") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRowTruncation(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra")
+	if len(tb.Rows[0]) != 1 {
+		t.Fatal("extra cells not dropped")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "x", "y", "n")
+	tb.AddRowf("%.2f", "label", 3.14159, 7)
+	row := tb.Rows[0]
+	if row[0] != "label" || row[1] != "3.14" || row[2] != "7" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`va"l`, "x,y")
+	var b strings.Builder
+	tb.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"va""l"`) || !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("csv escaping broken: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("csv header broken: %s", out)
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	s := metrics.NewSample(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	var b strings.Builder
+	CDFPlot(&b, "Latency CDF", "ms", s, 40, 8)
+	out := b.String()
+	if !strings.Contains(out, "Latency CDF") || !strings.Contains(out, "*") {
+		t.Fatalf("plot broken:\n%s", out)
+	}
+	if strings.Count(out, "*") != 8 {
+		t.Fatalf("want 8 points, got %d", strings.Count(out, "*"))
+	}
+}
+
+func TestCDFPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	CDFPlot(&b, "Empty", "x", metrics.NewSample(0), 10, 5)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty sample not handled")
+	}
+}
+
+func TestSeriesPlot(t *testing.T) {
+	ts := &metrics.TimeSeries{}
+	for d := 0; d < 100; d++ {
+		v := 0.0
+		if d == 50 {
+			v = 16
+		}
+		ts.Add(time.Duration(d)*24*time.Hour, v)
+	}
+	var b strings.Builder
+	SeriesPlot(&b, "Fig 7", "%", ts, 50, 8)
+	out := b.String()
+	if !strings.Contains(out, "peak 16.00") {
+		t.Fatalf("peak missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("spike not drawn:\n%s", out)
+	}
+}
+
+func TestSeriesPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	SeriesPlot(&b, "none", "%", &metrics.TimeSeries{}, 10, 5)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty series not handled")
+	}
+}

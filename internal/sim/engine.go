@@ -1,0 +1,260 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock through a priority queue of events.
+// Simulated activities can be expressed either as plain scheduled callbacks
+// (Engine.Schedule / Engine.After) or as processes (Engine.Spawn): ordinary
+// Go functions running on their own goroutines that block on kernel
+// primitives such as Proc.Sleep, Resource.Acquire or Queue.Get.
+//
+// Determinism: at most one goroutine — the kernel or exactly one process —
+// runs at any instant. Control is handed over synchronously through
+// unbuffered channels, and simultaneous events fire in schedule order
+// (ties broken by a monotonically increasing sequence number). Two runs of
+// the same program with the same seeds produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// the caller can Cancel it before it fires (e.g. a transfer whose completion
+// time must be recomputed when network rates change).
+//
+// Daemon events model background activity (environment processes such as
+// host degradation): they fire like any other event while the simulation is
+// alive, but do not by themselves keep Run going — Run returns once only
+// daemon events remain.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once popped or canceled
+	canceled bool
+	daemon   bool
+}
+
+// Time reports the virtual time at which the event is (or was) scheduled.
+func (ev *Event) Time() time.Duration { return ev.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel. The zero value is not ready
+// for use; construct one with NewEngine.
+type Engine struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+
+	// procs counts live (spawned, not yet finished) non-daemon processes,
+	// for leak detection in Drained.
+	procs int
+
+	// foreground counts pending non-daemon, non-canceled events; Run stops
+	// when it reaches zero.
+	foreground int
+
+	// fired counts executed events, exposed for instrumentation and tests.
+	fired uint64
+
+	// pendingPanic carries a panic raised inside a process goroutine back to
+	// the kernel goroutine, so it surfaces from Run() on the caller's stack.
+	pendingPanic *procPanic
+}
+
+type procPanic struct {
+	value any
+	stack []byte
+	proc  string
+}
+
+func (e *Engine) checkPanic() {
+	if pp := e.pendingPanic; pp != nil {
+		e.pendingPanic = nil
+		panic(fmt.Sprintf("sim: panic in process %q: %v\n%s", pp.proc, pp.value, pp.stack))
+	}
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// EventsFired returns the number of events executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events
+// (including canceled ones that have not been popped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// Schedule arranges for fn to run at absolute virtual time at. Scheduling in
+// the past panics: the simulated world cannot rewrite history.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	return e.schedule(at, fn, false)
+}
+
+// ScheduleDaemon schedules a daemon event: it fires normally but does not
+// keep Run alive on its own.
+func (e *Engine) ScheduleDaemon(at time.Duration, fn func()) *Event {
+	return e.schedule(at, fn, true)
+}
+
+func (e *Engine) schedule(at time.Duration, fn func(), daemon bool) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	e.seq++
+	heap.Push(&e.events, ev)
+	if !daemon {
+		e.foreground++
+	}
+	return ev
+}
+
+// After arranges for fn to run d from now. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// AfterDaemon arranges a daemon event d from now.
+func (e *Engine) AfterDaemon(d time.Duration, fn func()) *Event {
+	return e.ScheduleDaemon(e.now+d, fn)
+}
+
+// Cancel removes the event from the calendar if it has not fired. It is safe
+// to cancel an event twice or after it fired; later cancels are no-ops.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+		ev.index = -1
+		if !ev.daemon {
+			e.foreground--
+		}
+	}
+}
+
+// Step fires the next event, advancing the clock. It returns false when the
+// calendar is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if !ev.daemon {
+			e.foreground--
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until no foreground (non-daemon) work remains or Stop is
+// called. Foreground work is a pending non-daemon event or a live non-daemon
+// process: daemon events keep firing while either exists (a daemon may be
+// what wakes a parked process), and are left pending once neither does.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run reentered")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped {
+		if e.foreground == 0 && e.procs == 0 {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then sets the clock to the
+// deadline (if it is later than the last event fired). Events scheduled
+// exactly at the deadline do fire.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	if e.running {
+		panic("sim: RunUntil reentered")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek: heap root is index 0.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes Run / RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Drained reports whether the simulation has fully quiesced: no pending
+// foreground events and no live non-daemon processes. A false result after
+// Run() usually means a process leaked — it is blocked on a primitive
+// nobody will ever signal.
+func (e *Engine) Drained() bool {
+	return e.foreground == 0 && e.procs == 0
+}

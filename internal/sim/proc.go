@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// procState tracks where a process is in its lifecycle.
+type procState uint8
+
+const (
+	procCreated   procState = iota // spawned, start event not yet fired
+	procRunning                    // its goroutine holds the execution token
+	procSuspended                  // parked on a kernel primitive
+	procFinished                   // body returned or was killed
+)
+
+// Proc is a simulated process: a goroutine that runs user code and blocks on
+// kernel primitives. Exactly one of {kernel, some process} executes at any
+// instant; the handoff is synchronous through unbuffered channels, which
+// keeps the simulation deterministic regardless of the Go scheduler.
+type Proc struct {
+	eng  *Engine
+	name string
+
+	resume chan resumeMsg // kernel -> process
+	yield  chan struct{}  // process -> kernel
+
+	state  procState
+	killed bool
+	daemon bool
+
+	// wake is the scheduled event that will resume this process, when it is
+	// suspended with a known resume time (Sleep) or has been selected for
+	// wakeup by a primitive. Kill cancels it to avoid a double resume.
+	wake *Event
+
+	// detach removes the process from the wait list it is parked on, so a
+	// Kill can take it out of a Resource/Signal/Queue queue. It must be
+	// idempotent. nil when not parked on a list.
+	detach func()
+}
+
+type resumeMsg struct {
+	kill bool
+}
+
+// killError is the panic payload used to unwind a killed process. It is
+// recovered by the spawn wrapper and never escapes user code.
+type killError struct{ name string }
+
+func (k killError) Error() string { return "sim: process killed: " + k.name }
+
+// ErrKilled is returned by primitives that report interruption by Kill.
+var ErrKilled = errors.New("sim: process killed")
+
+// Spawn starts fn as a new process at the current virtual time. The body
+// begins executing when the kernel reaches the start event, before any event
+// scheduled afterwards at the same timestamp.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnDaemon starts fn as a daemon process: it runs like any process while
+// the simulation is alive, but neither its wakeups nor its liveness keep
+// Run going. Use it for environment processes (failure injectors, background
+// churn) that would otherwise run the clock forever.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawnAt(e.now, name, fn, true)
+}
+
+// SpawnAt starts fn as a new process at absolute virtual time at.
+func (e *Engine) SpawnAt(at time.Duration, name string, fn func(p *Proc)) *Proc {
+	return e.spawnAt(at, name, fn, false)
+}
+
+func (e *Engine) spawnAt(at time.Duration, name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan resumeMsg),
+		yield:  make(chan struct{}),
+		daemon: daemon,
+	}
+	if !daemon {
+		e.procs++
+	}
+	e.schedule(at, func() {
+		if p.killed {
+			p.state = procFinished
+			if !p.daemon {
+				e.procs--
+			}
+			return
+		}
+		p.state = procRunning
+		go p.run(fn)
+		// Wait for the process to park or finish before the kernel
+		// continues: the synchronous handoff that makes this deterministic.
+		<-p.yield
+		e.checkPanic()
+	}, daemon)
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killError); !ok {
+				// Genuine panic in user code. Transport it to the kernel
+				// goroutine so it surfaces from Run() on the caller's stack.
+				p.eng.pendingPanic = &procPanic{value: r, stack: debug.Stack(), proc: p.name}
+			}
+		}
+		p.state = procFinished
+		if !p.daemon {
+			p.eng.procs--
+		}
+		p.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// suspend parks the process until some kernel-context actor schedules its
+// resume. detach (may be nil) must remove the process from whatever wait
+// list it is on; Kill uses it. suspend must only be called from the
+// process's own goroutine.
+func (p *Proc) suspend(detach func()) {
+	p.detach = detach
+	p.state = procSuspended
+	p.yield <- struct{}{}
+	msg := <-p.resume
+	p.state = procRunning
+	p.detach = nil
+	if msg.kill {
+		panic(killError{p.name})
+	}
+}
+
+// scheduleResumeAt arranges the kernel to hand control back to the suspended
+// process at absolute time at. Must be called from kernel context, and only
+// when no resume is already pending.
+func (p *Proc) scheduleResumeAt(at time.Duration, kill bool) {
+	if p.wake != nil {
+		panic("sim: double resume scheduled for process " + p.name)
+	}
+	p.wake = p.eng.schedule(at, func() {
+		p.wake = nil
+		p.resume <- resumeMsg{kill: kill}
+		<-p.yield
+		p.eng.checkPanic()
+	}, p.daemon)
+}
+
+// wakeNow schedules an immediate (current-instant) resume. FIFO order among
+// same-instant wakeups is preserved by event sequence numbers.
+func (p *Proc) wakeNow() { p.scheduleResumeAt(p.eng.now, false) }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// Finished reports whether the process body has returned or been killed.
+func (p *Proc) Finished() bool { return p.state == procFinished }
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Sleep suspends the process for d of virtual time. Negative d panics.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.killCheck()
+	p.scheduleResumeAt(p.eng.now+d, false)
+	p.suspend(nil)
+}
+
+// SleepUntil suspends the process until absolute virtual time t, which must
+// not be in the past.
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t < p.eng.now {
+		panic(fmt.Sprintf("sim: SleepUntil %v before now %v", t, p.eng.now))
+	}
+	p.killCheck()
+	p.scheduleResumeAt(t, false)
+	p.suspend(nil)
+}
+
+// Yield lets every other event/process scheduled at the current instant run
+// before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill terminates the process at its next (or current) suspension point.
+// Killing a finished process is a no-op. A process may kill itself, in which
+// case it unwinds immediately. Kill on another process must be made from
+// kernel context (an event callback or another process's turn).
+func (p *Proc) Kill() {
+	if p.state == procFinished || p.killed {
+		return
+	}
+	p.killed = true
+	switch p.state {
+	case procRunning:
+		// Only the process itself can observe itself running; self-kill.
+		panic(killError{p.name})
+	case procSuspended:
+		if p.wake != nil {
+			p.eng.Cancel(p.wake)
+			p.wake = nil
+		}
+		if p.detach != nil {
+			p.detach()
+			p.detach = nil
+		}
+		p.scheduleResumeAt(p.eng.now, true)
+	case procCreated:
+		// Start event will observe killed and finish immediately.
+	}
+}
+
+func (p *Proc) killCheck() {
+	if p.killed {
+		panic(killError{p.name})
+	}
+}

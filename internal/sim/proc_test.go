@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var wokeAt []time.Duration
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		wokeAt = append(wokeAt, p.Now())
+		p.Sleep(2 * time.Second)
+		wokeAt = append(wokeAt, p.Now())
+	})
+	e.Run()
+	if len(wokeAt) != 2 || wokeAt[0] != 3*time.Second || wokeAt[1] != 5*time.Second {
+		t.Fatalf("wokeAt = %v, want [3s 5s]", wokeAt)
+	}
+	if !e.Drained() {
+		t.Fatal("engine not drained after process finished")
+	}
+}
+
+func TestProcInterleavesWithEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("p", func(p *Proc) {
+		order = append(order, "p@0")
+		p.Sleep(2 * time.Second)
+		order = append(order, "p@2")
+	})
+	e.Schedule(time.Second, func() { order = append(order, "ev@1") })
+	e.Run()
+	want := []string{"p@0", "ev@1", "p@2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpawnSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("spawn order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	e := NewEngine()
+	var started time.Duration = -1
+	e.SpawnAt(4*time.Second, "late", func(p *Proc) { started = p.Now() })
+	e.Run()
+	if started != 4*time.Second {
+		t.Fatalf("started at %v, want 4s", started)
+	}
+}
+
+func TestYield(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestKillSleeping(t *testing.T) {
+	e := NewEngine()
+	reached := false
+	victim := e.Spawn("victim", func(p *Proc) {
+		p.Sleep(time.Hour)
+		reached = true
+	})
+	e.Schedule(time.Second, func() { victim.Kill() })
+	e.Run()
+	if reached {
+		t.Fatal("killed process ran past its sleep")
+	}
+	if !victim.Finished() {
+		t.Fatal("killed process not finished")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock = %v; kill should not wait out the sleep", e.Now())
+	}
+	if !e.Drained() {
+		t.Fatal("engine not drained after kill")
+	}
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	p := e.SpawnAt(time.Minute, "unborn", func(p *Proc) { ran = true })
+	e.Schedule(time.Second, func() { p.Kill() })
+	e.Run()
+	if ran {
+		t.Fatal("killed-before-start process ran")
+	}
+	if !p.Finished() || !e.Drained() {
+		t.Fatal("killed-before-start process did not finish cleanly")
+	}
+}
+
+func TestKillFinishedNoop(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn("quick", func(p *Proc) {})
+	e.Schedule(time.Second, func() { p.Kill() })
+	e.Run()
+	if !p.Finished() {
+		t.Fatal("process not finished")
+	}
+}
+
+func TestSelfKill(t *testing.T) {
+	e := NewEngine()
+	after := false
+	p := e.Spawn("suicidal", func(p *Proc) {
+		p.Kill()
+		after = true
+	})
+	e.Run()
+	if after {
+		t.Fatal("code after self-kill executed")
+	}
+	if !p.Finished() {
+		t.Fatal("self-killed process not finished")
+	}
+}
+
+func TestKillDeferredCleanupRuns(t *testing.T) {
+	e := NewEngine()
+	cleaned := false
+	victim := e.Spawn("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(time.Hour)
+	})
+	e.Schedule(time.Second, func() { victim.Kill() })
+	e.Run()
+	if !cleaned {
+		t.Fatal("defer in killed process did not run")
+	}
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Error("user panic swallowed by kernel")
+		}
+	}()
+	e.Run()
+}
+
+func TestSleepZeroRunsOthersFirst(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(0)
+		order = append(order, "a")
+	})
+	e.Schedule(0, func() { order = append(order, "ev") })
+	e.Run()
+	// a spawns (seq 0) and immediately re-queues behind ev (seq 1).
+	if len(order) != 2 || order[0] != "ev" || order[1] != "a" {
+		t.Fatalf("order = %v, want [ev a]", order)
+	}
+}
+
+func TestManyProcessesDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		for i := 0; i < 20; i++ {
+			name := string(rune('a' + i))
+			d := time.Duration((i*7)%13) * time.Millisecond
+			e.Spawn(name, func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(d + time.Millisecond)
+					trace = append(trace, p.Name())
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic interleaving at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLiveProcsAccounting(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) { p.Sleep(time.Second) })
+	e.Spawn("b", func(p *Proc) { p.Sleep(2 * time.Second) })
+	if e.LiveProcs() != 2 {
+		t.Fatalf("LiveProcs = %d, want 2", e.LiveProcs())
+	}
+	e.Run()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after run, want 0", e.LiveProcs())
+	}
+}

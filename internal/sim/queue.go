@@ -1,0 +1,132 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO message store connecting producer and consumer
+// processes. Put never blocks; Get blocks until an item is available. It is
+// the kernel-level building block under the simulated Azure queue service
+// and the ModisAzure task queues.
+type Queue[T any] struct {
+	items   []T
+	getters []*getWaiter[T]
+	puts    uint64
+	gets    uint64
+}
+
+type getWaiter[T any] struct {
+	p        *Proc
+	item     T
+	released bool
+	timedOut bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Waiting returns the number of blocked consumers.
+func (q *Queue[T]) Waiting() int { return len(q.getters) }
+
+// Puts returns the total number of items ever put.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Gets returns the total number of items ever delivered.
+func (q *Queue[T]) Gets() uint64 { return q.gets }
+
+// Put appends an item, waking the longest-waiting consumer if any. It may be
+// called from any kernel-context code.
+func (q *Queue[T]) Put(item T) {
+	q.puts++
+	for len(q.getters) > 0 {
+		w := q.getters[0]
+		q.getters = q.getters[1:]
+		if w.released {
+			continue
+		}
+		w.released = true
+		w.item = item
+		q.gets++
+		w.p.wakeNow()
+		return
+	}
+	q.items = append(q.items, item)
+}
+
+// TryGet removes and returns the head item without blocking, reporting
+// whether one was available.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	return item, true
+}
+
+// Get removes and returns the head item, blocking the process until one is
+// available. Consumers are served in FIFO order.
+func (q *Queue[T]) Get(p *Proc) T {
+	p.killCheck()
+	if item, ok := q.TryGet(); ok {
+		return item
+	}
+	w := &getWaiter[T]{p: p}
+	q.getters = append(q.getters, w)
+	defer q.reputIfKilled(w)
+	p.suspend(func() { q.removeGetter(w) })
+	return w.item
+}
+
+// reputIfKilled runs on the unwind path of a killed consumer: if an item had
+// already been handed to it but the wakeup was pre-empted by the kill, the
+// item goes back to the head of the queue so no message is lost.
+func (q *Queue[T]) reputIfKilled(w *getWaiter[T]) {
+	if rec := recover(); rec != nil {
+		if w.released && !w.timedOut {
+			q.items = append([]T{w.item}, q.items...)
+			q.gets--
+		}
+		panic(rec)
+	}
+}
+
+// GetTimeout is Get with a deadline: it returns the zero value and false if
+// no item arrived within d.
+func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
+	p.killCheck()
+	if item, ok := q.TryGet(); ok {
+		return item, true
+	}
+	w := &getWaiter[T]{p: p}
+	q.getters = append(q.getters, w)
+	timer := p.eng.After(d, func() {
+		if w.released {
+			return
+		}
+		w.released = true
+		w.timedOut = true
+		q.removeGetter(w)
+		w.p.wakeNow()
+	})
+	defer p.eng.Cancel(timer)
+	defer q.reputIfKilled(w)
+	p.suspend(func() { q.removeGetter(w) })
+	if w.timedOut {
+		var zero T
+		return zero, false
+	}
+	return w.item, true
+}
+
+func (q *Queue[T]) removeGetter(w *getWaiter[T]) {
+	for i, g := range q.getters {
+		if g == w {
+			q.getters = append(q.getters[:i], q.getters[i+1:]...)
+			return
+		}
+	}
+}

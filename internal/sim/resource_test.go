@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResourceImmediateAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 2)
+	var heldAt time.Duration = -1
+	e.Spawn("p", func(p *Proc) {
+		r.Acquire(p, 2)
+		heldAt = p.Now()
+		r.Release(2)
+	})
+	e.Run()
+	if heldAt != 0 {
+		t.Fatalf("acquire blocked unnecessarily; got time %v", heldAt)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after release, want 0", r.InUse())
+	}
+}
+
+func TestResourceBlocksUntilRelease(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "srv", 1)
+	var secondAt time.Duration
+	e.Spawn("first", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(5 * time.Second)
+		r.Release(1)
+	})
+	e.Spawn("second", func(p *Proc) {
+		r.Acquire(p, 1)
+		secondAt = p.Now()
+		r.Release(1)
+	})
+	e.Run()
+	if secondAt != 5*time.Second {
+		t.Fatalf("second acquired at %v, want 5s", secondAt)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "srv", 1)
+	var order []int
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(time.Second)
+		r.Release(1)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // stagger arrival
+			r.Acquire(p, 1)
+			order = append(order, i)
+			r.Release(1)
+		})
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceNoOvertaking(t *testing.T) {
+	// A queued 2-unit request must not be overtaken by a later 1-unit
+	// request even when 1 unit is free (strict FIFO).
+	e := NewEngine()
+	r := NewResource(e, "srv", 2)
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(10 * time.Second)
+		r.Release(1)
+	})
+	e.Spawn("big", func(p *Proc) {
+		p.Sleep(time.Second)
+		r.Acquire(p, 2)
+		order = append(order, "big")
+		r.Release(2)
+	})
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "big" {
+		t.Fatalf("order = %v; strict FIFO violated", order)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "srv", 1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire failed on free resource")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire succeeded on exhausted resource")
+	}
+	r.Release(1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire failed after release")
+	}
+}
+
+func TestResourceKillWaiter(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "srv", 1)
+	var got []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(10 * time.Second)
+		r.Release(1)
+	})
+	victim := e.Spawn("victim", func(p *Proc) {
+		p.Sleep(time.Second)
+		r.Acquire(p, 1)
+		got = append(got, "victim")
+		r.Release(1)
+	})
+	e.Spawn("survivor", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		r.Acquire(p, 1)
+		got = append(got, "survivor")
+		r.Release(1)
+	})
+	e.Schedule(3*time.Second, func() { victim.Kill() })
+	e.Run()
+	if len(got) != 1 || got[0] != "survivor" {
+		t.Fatalf("got = %v, want only survivor", got)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after drain, want 0 (kill leaked units)", r.InUse())
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "srv", 1)
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			r.Acquire(p, 1)
+			p.Sleep(time.Second)
+			r.Release(1)
+		})
+	}
+	e.Run()
+	if r.TotalAcquired() != 4 {
+		t.Fatalf("TotalAcquired = %d, want 4", r.TotalAcquired())
+	}
+	if r.MaxQueueLen() != 3 {
+		t.Fatalf("MaxQueueLen = %d, want 3", r.MaxQueueLen())
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "srv", 1)
+	var end time.Duration
+	e.Spawn("a", func(p *Proc) {
+		r.Use(p, 1, func() { p.Sleep(2 * time.Second) })
+	})
+	e.Spawn("b", func(p *Proc) {
+		r.Use(p, 1, func() { p.Sleep(2 * time.Second) })
+		end = p.Now()
+	})
+	e.Run()
+	if end != 4*time.Second {
+		t.Fatalf("serialized Use ended at %v, want 4s", end)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", r.InUse())
+	}
+}
+
+func TestResourceInvalidArgs(t *testing.T) {
+	e := NewEngine()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero capacity", func() { NewResource(e, "x", 0) })
+	r := NewResource(e, "x", 2)
+	mustPanic("over-release", func() { r.Release(1) })
+	mustPanic("try-acquire too many", func() { r.TryAcquire(3) })
+}

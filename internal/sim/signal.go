@@ -1,0 +1,92 @@
+package sim
+
+import "time"
+
+// Signal is a broadcast condition: processes Wait on it and are all released
+// by the next Fire. It carries no payload; pair it with shared state the
+// waker updates before firing. The zero value is usable.
+type Signal struct {
+	waiters []*sigWaiter
+	fires   uint64
+}
+
+type sigWaiter struct {
+	p        *Proc
+	released bool
+	timedOut bool
+}
+
+// Fires returns how many times the signal has fired.
+func (s *Signal) Fires() uint64 { return s.fires }
+
+// Waiting returns the number of parked processes.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Wait parks the process until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	p.killCheck()
+	w := &sigWaiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.suspend(func() { s.remove(w) })
+}
+
+// WaitTimeout parks the process until the next Fire or until d elapses,
+// whichever is first. It reports whether the wait timed out.
+func (s *Signal) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
+	p.killCheck()
+	w := &sigWaiter{p: p}
+	s.waiters = append(s.waiters, w)
+	timer := p.eng.After(d, func() {
+		if w.released {
+			return
+		}
+		w.released = true
+		w.timedOut = true
+		s.remove(w)
+		w.p.wakeNow()
+	})
+	defer p.eng.Cancel(timer)
+	p.suspend(func() { s.remove(w) })
+	return w.timedOut
+}
+
+// Fire releases every currently parked process, in arrival order. Processes
+// that start waiting after Fire returns wait for the next one.
+func (s *Signal) Fire() {
+	s.fires++
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if w.released {
+			continue
+		}
+		w.released = true
+		w.p.wakeNow()
+	}
+}
+
+// FireOne releases the longest-waiting parked process, if any, and reports
+// whether one was released.
+func (s *Signal) FireOne() bool {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.released {
+			continue
+		}
+		s.fires++
+		w.released = true
+		w.p.wakeNow()
+		return true
+	}
+	return false
+}
+
+func (s *Signal) remove(w *sigWaiter) {
+	for i, q := range s.waiters {
+		if q == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSignalFireReleasesAll(t *testing.T) {
+	e := NewEngine()
+	var s Signal
+	released := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			s.Wait(p)
+			released++
+		})
+	}
+	e.Schedule(time.Second, func() { s.Fire() })
+	e.Run()
+	if released != 4 {
+		t.Fatalf("released = %d, want 4", released)
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("Waiting = %d, want 0", s.Waiting())
+	}
+}
+
+func TestSignalFireOne(t *testing.T) {
+	e := NewEngine()
+	var s Signal
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			s.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Schedule(time.Second, func() {
+		if !s.FireOne() {
+			t.Error("FireOne found no waiter")
+		}
+	})
+	e.Schedule(2*time.Second, func() { s.FireOne() })
+	e.Schedule(3*time.Second, func() { s.FireOne() })
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("release order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSignalFireNobodyWaiting(t *testing.T) {
+	var s Signal
+	s.Fire() // must not panic
+	if s.FireOne() {
+		t.Fatal("FireOne with no waiters returned true")
+	}
+}
+
+func TestSignalLateWaiterMissesFire(t *testing.T) {
+	e := NewEngine()
+	var s Signal
+	var lateAt time.Duration = -1
+	e.Schedule(time.Second, func() { s.Fire() })
+	e.Spawn("late", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		s.Wait(p)
+		lateAt = p.Now()
+	})
+	e.Schedule(5*time.Second, func() { s.Fire() })
+	e.Run()
+	if lateAt != 5*time.Second {
+		t.Fatalf("late waiter released at %v, want 5s (second fire)", lateAt)
+	}
+}
+
+func TestSignalWaitTimeout(t *testing.T) {
+	e := NewEngine()
+	var s Signal
+	var timedOut, gotSignal bool
+	e.Spawn("w", func(p *Proc) {
+		timedOut = s.WaitTimeout(p, 2*time.Second)
+		gotSignal = !s.WaitTimeout(p, 10*time.Second)
+	})
+	e.Schedule(5*time.Second, func() { s.Fire() })
+	e.Run()
+	if !timedOut {
+		t.Fatal("first wait should have timed out")
+	}
+	if !gotSignal {
+		t.Fatal("second wait should have been signalled")
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("Waiting = %d, want 0", s.Waiting())
+	}
+}
+
+func TestSignalKillWaiter(t *testing.T) {
+	e := NewEngine()
+	var s Signal
+	victim := e.Spawn("victim", func(p *Proc) {
+		s.Wait(p)
+		t.Error("victim released after kill")
+	})
+	e.Schedule(time.Second, func() { victim.Kill() })
+	e.Schedule(2*time.Second, func() { s.Fire() })
+	e.Run()
+	if !victim.Finished() || !e.Drained() {
+		t.Fatal("killed signal waiter did not clean up")
+	}
+}
+
+func TestSignalFiresCounter(t *testing.T) {
+	var s Signal
+	s.Fire()
+	s.Fire()
+	if s.Fires() != 2 {
+		t.Fatalf("Fires = %d, want 2", s.Fires())
+	}
+}

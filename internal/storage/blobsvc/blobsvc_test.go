@@ -1,0 +1,242 @@
+package blobsvc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"azureobs/internal/metrics"
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/storerr"
+)
+
+func newSvc(cfg Config) (*sim.Engine, *Service) {
+	eng := sim.NewEngine()
+	net := netsim.NewFabric(eng)
+	return eng, New(eng, net, simrand.New(1), cfg)
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	eng, svc := newSvc(Config{})
+	svc.CreateContainer("data")
+	sess := svc.NewSession(0)
+	eng.Spawn("c", func(p *sim.Proc) {
+		if err := sess.Put(p, "data", "b1", 10*netsim.MB, false); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		n, err := sess.Get(p, "data", "b1")
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		if n != 10*netsim.MB {
+			t.Errorf("size = %d", n)
+		}
+	})
+	eng.Run()
+	if svc.Uploads() != 1 || svc.Downloads() != 1 {
+		t.Fatalf("uploads/downloads = %d/%d", svc.Uploads(), svc.Downloads())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	eng, svc := newSvc(Config{})
+	svc.CreateContainer("data")
+	sess := svc.NewSession(0)
+	eng.Spawn("c", func(p *sim.Proc) {
+		_, err := sess.Get(p, "data", "nope")
+		if !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("get missing = %v, want NotFound", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestPutConflict(t *testing.T) {
+	eng, svc := newSvc(Config{})
+	svc.CreateContainer("data")
+	sess := svc.NewSession(0)
+	eng.Spawn("c", func(p *sim.Proc) {
+		if err := sess.Put(p, "data", "b", 1*netsim.MB, false); err != nil {
+			t.Errorf("first put: %v", err)
+		}
+		err := sess.Put(p, "data", "b", 1*netsim.MB, false)
+		if !storerr.IsCode(err, storerr.CodeBlobExists) {
+			t.Errorf("second put = %v, want BlobExists", err)
+		}
+		if err := sess.Put(p, "data", "b", 2*netsim.MB, true); err != nil {
+			t.Errorf("overwrite put: %v", err)
+		}
+		b, _ := svc.Lookup("data", "b")
+		if b.Size != 2*netsim.MB {
+			t.Errorf("overwritten size = %d", b.Size)
+		}
+	})
+	eng.Run()
+}
+
+func TestExistsAndDelete(t *testing.T) {
+	eng, svc := newSvc(Config{})
+	svc.CreateContainer("data")
+	sess := svc.NewSession(0)
+	eng.Spawn("c", func(p *sim.Proc) {
+		ok, _ := sess.Exists(p, "data", "b")
+		if ok {
+			t.Error("exists before put")
+		}
+		_ = sess.Put(p, "data", "b", 1*netsim.MB, false)
+		ok, _ = sess.Exists(p, "data", "b")
+		if !ok {
+			t.Error("missing after put")
+		}
+		if err := sess.Delete(p, "data", "b"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		if err := sess.Delete(p, "data", "b"); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("double delete = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestPutToMissingContainer(t *testing.T) {
+	eng, svc := newSvc(Config{})
+	sess := svc.NewSession(0)
+	eng.Spawn("c", func(p *sim.Proc) {
+		err := sess.Put(p, "ghost", "b", 1, false)
+		if !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("put to missing container = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+// downloadBandwidth runs the Fig. 1 protocol at a given concurrency and
+// returns the mean per-client bandwidth in MB/s.
+func downloadBandwidth(t *testing.T, clients int, blobMB int64) float64 {
+	t.Helper()
+	eng, svc := newSvc(Config{})
+	svc.CreateContainer("data")
+	svc.Seed("data", "big", blobMB*netsim.MB)
+	var agg metrics.Summary
+	for i := 0; i < clients; i++ {
+		sess := svc.NewSession(i)
+		eng.Spawn("dl", func(p *sim.Proc) {
+			start := p.Now()
+			n, err := sess.Get(p, "data", "big")
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			agg.Add(float64(n) / 1e6 / (p.Now() - start).Seconds())
+		})
+	}
+	eng.Run()
+	return agg.Mean()
+}
+
+func TestFig1DownloadCurve(t *testing.T) {
+	// Paper anchors: ~13 MB/s for 1-8 clients, ~half that at 32, ~3.07 at
+	// 128 (≈393 MB/s aggregate peak), lower per-client at 192.
+	single := downloadBandwidth(t, 1, 256)
+	if math.Abs(single-13) > 1 {
+		t.Fatalf("single-client download = %.2f MB/s, want ~13", single)
+	}
+	at8 := downloadBandwidth(t, 8, 256)
+	if math.Abs(at8-13) > 1.5 {
+		t.Fatalf("8-client download = %.2f MB/s, want ~13 (NIC-bound)", at8)
+	}
+	at32 := downloadBandwidth(t, 32, 128)
+	if math.Abs(at32-6.5) > 1 {
+		t.Fatalf("32-client download = %.2f MB/s, want ~6.5 (half of single)", at32)
+	}
+	at128 := downloadBandwidth(t, 128, 64)
+	if math.Abs(at128*128-393) > 25 {
+		t.Fatalf("128-client aggregate = %.1f MB/s, want ~393", at128*128)
+	}
+	at192 := downloadBandwidth(t, 192, 64)
+	if at192*192 > at128*128 {
+		t.Fatalf("aggregate at 192 (%.1f) exceeds peak at 128 (%.1f)", at192*192, at128*128)
+	}
+	// Monotone per-client decay.
+	if !(single >= at32 && at32 > at128 && at128 > at192) {
+		t.Fatalf("per-client bandwidth not decaying: %v %v %v %v", single, at32, at128, at192)
+	}
+}
+
+func uploadBandwidth(t *testing.T, clients int, blobMB int64) float64 {
+	t.Helper()
+	eng, svc := newSvc(Config{})
+	svc.CreateContainer("up")
+	var agg metrics.Summary
+	for i := 0; i < clients; i++ {
+		i := i
+		sess := svc.NewSession(i)
+		eng.Spawn("ul", func(p *sim.Proc) {
+			start := p.Now()
+			name := "blob-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i%10))
+			if err := sess.Put(p, "up", name+"-"+time.Duration(i).String(), blobMB*netsim.MB, true); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+			agg.Add(float64(blobMB) / (p.Now() - start).Seconds())
+		})
+	}
+	eng.Run()
+	return agg.Mean()
+}
+
+func TestFig1UploadCurve(t *testing.T) {
+	// Paper anchors: ~half of download for small n, 1.25 MB/s at 64
+	// clients, 0.65 at 192 (aggregate max 124.25 MB/s at 192).
+	single := uploadBandwidth(t, 1, 64)
+	if math.Abs(single-6.5) > 0.7 {
+		t.Fatalf("single-client upload = %.2f MB/s, want ~6.5", single)
+	}
+	at64 := uploadBandwidth(t, 64, 16)
+	if math.Abs(at64-1.25) > 0.3 {
+		t.Fatalf("64-client upload = %.2f MB/s, want ~1.25", at64)
+	}
+	at192 := uploadBandwidth(t, 192, 8)
+	if math.Abs(at192-0.65) > 0.15 {
+		t.Fatalf("192-client upload = %.2f MB/s, want ~0.65", at192)
+	}
+	if math.Abs(at192*192-124.25) > 15 {
+		t.Fatalf("192-client aggregate = %.1f, want ~124", at192*192)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	eng, svc := newSvc(Config{CorruptReadProb: 1})
+	svc.CreateContainer("d")
+	svc.Seed("d", "b", 1)
+	sess := svc.NewSession(0)
+	eng.Spawn("c", func(p *sim.Proc) {
+		_, err := sess.Get(p, "d", "b")
+		if !storerr.IsCode(err, storerr.CodeCorruptRead) {
+			t.Errorf("get with corrupt injection = %v", err)
+		}
+	})
+	eng.Run()
+
+	eng2, svc2 := newSvc(Config{ConnFailProb: 1})
+	svc2.CreateContainer("d")
+	sess2 := svc2.NewSession(0)
+	eng2.Spawn("c", func(p *sim.Proc) {
+		err := sess2.Put(p, "d", "b", 1, false)
+		if !storerr.IsCode(err, storerr.CodeConnection) {
+			t.Errorf("put with conn failure = %v", err)
+		}
+	})
+	eng2.Run()
+}
+
+func TestDeterministicDownloads(t *testing.T) {
+	run := func() float64 { return downloadBandwidth(t, 16, 64) }
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,345 @@
+package queuesvc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/storerr"
+)
+
+func newSvc() (*sim.Engine, *Service) {
+	eng := sim.NewEngine()
+	return eng, New(eng, simrand.New(1), Config{})
+}
+
+func TestAddReceiveDelete(t *testing.T) {
+	eng, svc := newSvc()
+	q := svc.CreateQueue("tasks")
+	eng.Spawn("c", func(p *sim.Proc) {
+		id, err := svc.Add(p, q, "hello", 512)
+		if err != nil || id == 0 {
+			t.Errorf("add: %v", err)
+			return
+		}
+		m, r, ok, err := svc.Receive(p, q, time.Minute)
+		if err != nil || !ok {
+			t.Errorf("receive: %v ok=%v", err, ok)
+			return
+		}
+		if m.Body != "hello" || m.Size != 512 || m.Dequeues != 1 {
+			t.Errorf("message = %+v", m)
+		}
+		if err := svc.Delete(p, q, r); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		if q.Len() != 0 {
+			t.Errorf("len after delete = %d", q.Len())
+		}
+	})
+	eng.Run()
+}
+
+func TestReceiveEmptyQueue(t *testing.T) {
+	eng, svc := newSvc()
+	q := svc.CreateQueue("empty")
+	eng.Spawn("c", func(p *sim.Proc) {
+		_, _, ok, err := svc.Receive(p, q, 0)
+		if err != nil || ok {
+			t.Errorf("receive on empty = ok=%v err=%v", ok, err)
+		}
+		_, ok, err = svc.Peek(p, q)
+		if err != nil || ok {
+			t.Errorf("peek on empty = ok=%v err=%v", ok, err)
+		}
+	})
+	eng.Run()
+}
+
+func TestPeekDoesNotAlterState(t *testing.T) {
+	eng, svc := newSvc()
+	q := svc.CreateQueue("q")
+	eng.Spawn("c", func(p *sim.Proc) {
+		_, _ = svc.Add(p, q, "m1", 512)
+		m1, ok, _ := svc.Peek(p, q)
+		m2, ok2, _ := svc.Peek(p, q)
+		if !ok || !ok2 || m1.ID != m2.ID {
+			t.Error("peek changed queue state")
+		}
+		if m1.Dequeues != 0 {
+			t.Error("peek counted as dequeue")
+		}
+	})
+	eng.Run()
+}
+
+func TestVisibilityTimeoutReappears(t *testing.T) {
+	eng, svc := newSvc()
+	q := svc.CreateQueue("q")
+	eng.Spawn("c", func(p *sim.Proc) {
+		_, _ = svc.Add(p, q, "task", 512)
+		m, _, ok, _ := svc.Receive(p, q, 10*time.Second)
+		if !ok {
+			t.Error("first receive failed")
+			return
+		}
+		// Hidden: second receive sees nothing.
+		_, _, ok, _ = svc.Receive(p, q, 10*time.Second)
+		if ok {
+			t.Error("received a hidden message")
+		}
+		// After visibility expires it reappears.
+		p.Sleep(11 * time.Second)
+		m2, _, ok, _ := svc.Receive(p, q, 10*time.Second)
+		if !ok || m2.ID != m.ID {
+			t.Error("message did not reappear after visibility timeout")
+		}
+		if m2.Dequeues != 2 {
+			t.Errorf("dequeues = %d, want 2", m2.Dequeues)
+		}
+	})
+	eng.Run()
+}
+
+func TestStaleReceiptConflict(t *testing.T) {
+	// The slow-consumer hazard of Section 5.2: a task that overruns its
+	// visibility loses its receipt to the next consumer.
+	eng, svc := newSvc()
+	q := svc.CreateQueue("q")
+	eng.Spawn("c", func(p *sim.Proc) {
+		_, _ = svc.Add(p, q, "task", 512)
+		_, r1, _, _ := svc.Receive(p, q, 5*time.Second)
+		p.Sleep(6 * time.Second) // overrun
+		_, r2, ok, _ := svc.Receive(p, q, 5*time.Second)
+		if !ok {
+			t.Error("second consumer did not get the reappeared message")
+			return
+		}
+		if err := svc.Delete(p, q, r1); !storerr.IsCode(err, storerr.CodeConflict) {
+			t.Errorf("stale receipt delete = %v, want Conflict", err)
+		}
+		if err := svc.Delete(p, q, r2); err != nil {
+			t.Errorf("fresh receipt delete: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestDeleteMissing(t *testing.T) {
+	eng, svc := newSvc()
+	q := svc.CreateQueue("q")
+	eng.Spawn("c", func(p *sim.Proc) {
+		err := svc.Delete(p, q, Receipt{MsgID: 42})
+		if !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("delete missing = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestVisibilityClampedToMax(t *testing.T) {
+	eng, svc := newSvc()
+	q := svc.CreateQueue("q")
+	eng.Spawn("c", func(p *sim.Proc) {
+		_, _ = svc.Add(p, q, "m", 512)
+		_, _, ok, _ := svc.Receive(p, q, 48*time.Hour) // beyond the 2h max
+		if !ok {
+			t.Error("receive failed")
+			return
+		}
+		p.Sleep(2*time.Hour + time.Minute)
+		_, _, ok, _ = svc.Receive(p, q, time.Minute)
+		if !ok {
+			t.Error("message not reappeared after the 2h visibility cap")
+		}
+	})
+	eng.Run()
+}
+
+func TestFIFOAcrossConsumers(t *testing.T) {
+	eng, svc := newSvc()
+	q := svc.CreateQueue("q")
+	var got []string
+	eng.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			_, _ = svc.Add(p, q, fmt.Sprintf("m%d", i), 512)
+		}
+	})
+	eng.Spawn("consumer", func(p *sim.Proc) {
+		p.Sleep(5 * time.Second)
+		for {
+			m, r, ok, _ := svc.Receive(p, q, time.Minute)
+			if !ok {
+				return
+			}
+			got = append(got, m.Body)
+			_ = svc.Delete(p, q, r)
+		}
+	})
+	eng.Run()
+	if len(got) != 6 {
+		t.Fatalf("consumed %d messages, want 6", len(got))
+	}
+	for i, b := range got {
+		if b != fmt.Sprintf("m%d", i) {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+// queueRate runs the Fig. 3 protocol: n closed-loop clients doing ops
+// against one queue; returns mean per-client ops/s.
+func queueRate(t *testing.T, clients, opsEach int, op func(p *sim.Proc, svc *Service, q *Queue) error) float64 {
+	t.Helper()
+	eng, svc := newSvc()
+	q := svc.CreateQueue("q")
+	q.Prefill(clients*opsEach+1000, 512)
+	var ops int
+	var busy time.Duration
+	for c := 0; c < clients; c++ {
+		eng.Spawn("client", func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < opsEach; i++ {
+				if err := op(p, svc, q); err != nil {
+					t.Errorf("op: %v", err)
+					return
+				}
+				ops++
+			}
+			busy += p.Now() - start
+		})
+	}
+	eng.Run()
+	// busy sums per-client elapsed time, so this is the per-client rate.
+	return float64(ops) / busy.Seconds()
+}
+
+func addOp(p *sim.Proc, svc *Service, q *Queue) error {
+	_, err := svc.Add(p, q, "x", 512)
+	return err
+}
+
+func peekOp(p *sim.Proc, svc *Service, q *Queue) error {
+	_, _, err := svc.Peek(p, q)
+	return err
+}
+
+func recvOp(p *sim.Proc, svc *Service, q *Queue) error {
+	_, _, _, err := svc.Receive(p, q, time.Hour)
+	return err
+}
+
+func TestFig3AddPeaksAt64(t *testing.T) {
+	a1 := queueRate(t, 1, 80, addOp)
+	a64 := queueRate(t, 64, 40, addOp) * 64
+	a192 := queueRate(t, 192, 30, addOp) * 192
+	// Single client 15-20 ops/s; aggregate peak ~569 ops/s at 64.
+	if a1 < 14 || a1 > 21 {
+		t.Fatalf("1-client add = %.1f ops/s, want 15-20", a1)
+	}
+	if math.Abs(a64-569) > 60 {
+		t.Fatalf("64-client add aggregate = %.1f, want ~569", a64)
+	}
+	if a192 >= a64 {
+		t.Fatalf("add aggregate did not decline past 64: %.1f vs %.1f", a192, a64)
+	}
+}
+
+func TestFig3ReceivePeaksAt64(t *testing.T) {
+	r64 := queueRate(t, 64, 40, recvOp) * 64
+	r192 := queueRate(t, 192, 30, recvOp) * 192
+	if math.Abs(r64-424) > 50 {
+		t.Fatalf("64-client receive aggregate = %.1f, want ~424", r64)
+	}
+	if r192 >= r64 {
+		t.Fatalf("receive aggregate did not decline past 64: %.1f vs %.1f", r192, r64)
+	}
+}
+
+func TestFig3PeekKeepsScaling(t *testing.T) {
+	p128 := queueRate(t, 128, 40, peekOp) * 128
+	p192 := queueRate(t, 192, 30, peekOp) * 192
+	if p192 <= p128 {
+		t.Fatalf("peek aggregate not rising 128→192: %.1f vs %.1f", p128, p192)
+	}
+	if math.Abs(p192-3878) > 450 {
+		t.Fatalf("192-client peek aggregate = %.1f, want ~3878", p192)
+	}
+	if math.Abs(p128-3392) > 450 {
+		t.Fatalf("128-client peek aggregate = %.1f, want ~3392", p128)
+	}
+}
+
+func TestFig3ReceiveSlowerThanAdd(t *testing.T) {
+	// "message retrieval was more affected by concurrency than message put"
+	a32 := queueRate(t, 32, 40, addOp)
+	r32 := queueRate(t, 32, 40, recvOp)
+	if r32 >= a32 {
+		t.Fatalf("receive (%.1f) not slower than add (%.1f) at 32 clients", r32, a32)
+	}
+	if a32 < 10 {
+		t.Fatalf("32-writer per-client add = %.1f, want >10 (Section 6.1)", a32)
+	}
+}
+
+func TestQueueDepthInvariance(t *testing.T) {
+	// Paper: no performance variation from 200k to 2M messages. We compare
+	// 20k vs 200k prefill at modest concurrency.
+	rate := func(prefill int) float64 {
+		eng, svc := newSvc()
+		q := svc.CreateQueue("q")
+		q.Prefill(prefill, 512)
+		var ops int
+		var busy time.Duration
+		for c := 0; c < 8; c++ {
+			eng.Spawn("client", func(p *sim.Proc) {
+				start := p.Now()
+				for i := 0; i < 40; i++ {
+					if err := recvOp(p, svc, q); err != nil {
+						t.Errorf("op: %v", err)
+					}
+					ops++
+				}
+				busy += p.Now() - start
+			})
+		}
+		eng.Run()
+		return float64(ops) / busy.Seconds()
+	}
+	small, large := rate(20000), rate(200000)
+	if math.Abs(small-large)/small > 0.1 {
+		t.Fatalf("queue depth affected rate: %.1f vs %.1f ops/s", small, large)
+	}
+}
+
+func TestGetQueue(t *testing.T) {
+	_, svc := newSvc()
+	svc.CreateQueue("a")
+	if _, ok := svc.GetQueue("a"); !ok {
+		t.Fatal("existing queue not found")
+	}
+	if _, ok := svc.GetQueue("b"); ok {
+		t.Fatal("missing queue found")
+	}
+	// CreateQueue is idempotent.
+	q1 := svc.CreateQueue("a")
+	q2 := svc.CreateQueue("a")
+	if q1 != q2 {
+		t.Fatal("CreateQueue not idempotent")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := New(eng, simrand.New(1), Config{ConnFailProb: 1})
+	q := svc.CreateQueue("q")
+	eng.Spawn("c", func(p *sim.Proc) {
+		if _, err := svc.Add(p, q, "m", 1); !storerr.IsCode(err, storerr.CodeConnection) {
+			t.Errorf("add under conn failure = %v", err)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,354 @@
+// Package sqlsvc simulates SQL Azure Database as evaluated in the HPDC 2010
+// version of the paper (the journal revision this reproduction follows
+// omitted the SQL Azure section "due to space constraints", so unlike the
+// other services this substrate's latency constants are plausible for the
+// era but not calibrated against published curves — the *mechanisms* are
+// the documented ones: size-capped database editions, a bounded connection
+// pool with throttling, and relational operations that slow under
+// concurrency like any shared SQL tier).
+//
+// The service supports the experiment the paper ran: simple key-addressed
+// INSERT/SELECT/UPDATE/DELETE plus range scans, driven by 1-192 concurrent
+// clients, contrasted with table storage.
+package sqlsvc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/station"
+	"azureobs/internal/storage/storerr"
+)
+
+// Edition is the SQL Azure database edition, which fixes the size cap.
+type Edition int
+
+// Editions of the 2010 service.
+const (
+	Web      Edition = iota // 1 GB cap
+	Business                // 10 GB cap
+)
+
+// SizeCap returns the edition's database size limit in bytes.
+func (e Edition) SizeCap() int64 {
+	if e == Business {
+		return 10 * netsim.GB
+	}
+	return 1 * netsim.GB
+}
+
+func (e Edition) String() string {
+	if e == Business {
+		return "Business"
+	}
+	return "Web"
+}
+
+// Config parameterises the service; zero fields take defaults.
+type Config struct {
+	// Insert/Select/Update/Delete are the per-operation contention models.
+	Insert, Select, Update, Delete station.Config
+	// MaxConnections bounds concurrent sessions per database; SQL Azure
+	// throttled aggressively compared to the storage services.
+	MaxConnections int
+	// ScanSecPerRow prices range scans.
+	ScanSecPerRow float64
+	// ClientBW converts payloads to transfer time.
+	ClientBW netsim.Bandwidth
+}
+
+// DefaultConfig returns era-plausible parameters (documented as
+// uncalibrated; see the package comment).
+func DefaultConfig() Config {
+	return Config{
+		Insert:         station.Config{S0: 12 * time.Millisecond, N0: 48, Gamma: 1.6, CV: 0.3},
+		Select:         station.Config{S0: 6 * time.Millisecond, N0: 64, Gamma: 1.4, CV: 0.3},
+		Update:         station.Config{S0: 10 * time.Millisecond, N0: 48, Gamma: 1.6, CV: 0.3},
+		Delete:         station.Config{S0: 10 * time.Millisecond, N0: 48, Gamma: 1.6, CV: 0.3},
+		MaxConnections: 64,
+		ScanSecPerRow:  8e-6,
+		ClientBW:       13 * netsim.MBps,
+	}
+}
+
+// Row is one relational row: a primary key plus a payload size (contents are
+// not materialised, as elsewhere in the simulation).
+type Row struct {
+	Key     string
+	Size    int
+	Version int
+}
+
+// Database is one SQL Azure database.
+type Database struct {
+	Name    string
+	Edition Edition
+
+	tables map[string]map[string]*Row
+	bytes  int64
+
+	conns int
+}
+
+// Size returns the database's current size in bytes.
+func (d *Database) Size() int64 { return d.bytes }
+
+// Connections returns the open session count.
+func (d *Database) Connections() int { return d.conns }
+
+// Service is the SQL Azure endpoint.
+type Service struct {
+	cfg Config
+	rng *simrand.RNG
+
+	insert, sel, update, del *station.Station
+
+	dbs map[string]*Database
+
+	throttled uint64
+}
+
+// New creates the service.
+func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
+	def := DefaultConfig()
+	if cfg.Insert.S0 == 0 {
+		cfg.Insert = def.Insert
+	}
+	if cfg.Select.S0 == 0 {
+		cfg.Select = def.Select
+	}
+	if cfg.Update.S0 == 0 {
+		cfg.Update = def.Update
+	}
+	if cfg.Delete.S0 == 0 {
+		cfg.Delete = def.Delete
+	}
+	if cfg.MaxConnections == 0 {
+		cfg.MaxConnections = def.MaxConnections
+	}
+	if cfg.ScanSecPerRow == 0 {
+		cfg.ScanSecPerRow = def.ScanSecPerRow
+	}
+	if cfg.ClientBW == 0 {
+		cfg.ClientBW = def.ClientBW
+	}
+	r := rng.Fork("sqlsvc")
+	return &Service{
+		cfg:    cfg,
+		rng:    r,
+		insert: station.New(cfg.Insert, r.Fork("insert")),
+		sel:    station.New(cfg.Select, r.Fork("select")),
+		update: station.New(cfg.Update, r.Fork("update")),
+		del:    station.New(cfg.Delete, r.Fork("delete")),
+		dbs:    make(map[string]*Database),
+	}
+}
+
+// Throttled returns how many connection attempts were rejected.
+func (s *Service) Throttled() uint64 { return s.throttled }
+
+// CreateDatabase provisions a database (idempotent for the same edition).
+func (s *Service) CreateDatabase(name string, e Edition) *Database {
+	db, ok := s.dbs[name]
+	if !ok {
+		db = &Database{Name: name, Edition: e, tables: make(map[string]map[string]*Row)}
+		s.dbs[name] = db
+	}
+	return db
+}
+
+// CreateTable adds a table to a database (idempotent).
+func (db *Database) CreateTable(name string) {
+	if _, ok := db.tables[name]; !ok {
+		db.tables[name] = make(map[string]*Row)
+	}
+}
+
+// Conn is one open connection. SQL Azure's tier bounds concurrent
+// connections; past the cap, Open is rejected with ServerBusy — the
+// throttling behaviour applications had to retry around.
+type Conn struct {
+	svc *Service
+	db  *Database
+	id  int
+
+	closed bool
+}
+
+// Open establishes a connection, spending a handshake latency. It fails
+// with ServerBusy when the database's connection cap is reached.
+func (s *Service) Open(p *sim.Proc, dbName string, id int) (*Conn, error) {
+	const op = "sql.Open"
+	db, ok := s.dbs[dbName]
+	if !ok {
+		return nil, storerr.Newf(storerr.CodeNotFound, op, "database %s", dbName)
+	}
+	p.Sleep(simrand.Duration(simrand.LogNormalMeanCV(0.025, 0.3), s.rng))
+	if db.conns >= s.cfg.MaxConnections {
+		s.throttled++
+		return nil, storerr.Newf(storerr.CodeServerBusy, op, "connection limit %d reached", s.cfg.MaxConnections)
+	}
+	db.conns++
+	return &Conn{svc: s, db: db, id: id}, nil
+}
+
+// Close releases the connection. Closing twice is a no-op.
+func (c *Conn) Close() {
+	if !c.closed {
+		c.closed = true
+		c.db.conns--
+	}
+}
+
+func (c *Conn) check(op string) error {
+	if c.closed {
+		return storerr.New(storerr.CodeInternal, op, "connection closed")
+	}
+	return nil
+}
+
+func (c *Conn) table(op, table string) (map[string]*Row, error) {
+	tbl, ok := c.db.tables[table]
+	if !ok {
+		return nil, storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
+	}
+	return tbl, nil
+}
+
+func (c *Conn) payload(size int) time.Duration {
+	return time.Duration(float64(size) / float64(c.svc.cfg.ClientBW) * float64(time.Second))
+}
+
+// Insert adds a row; duplicate keys conflict; exceeding the edition cap
+// fails with ServerBusy-class pressure (SQL Azure returned error 40544).
+func (c *Conn) Insert(p *sim.Proc, table, key string, size int) error {
+	const op = "sql.Insert"
+	if err := c.check(op); err != nil {
+		return err
+	}
+	tbl, err := c.table(op, table)
+	if err != nil {
+		return err
+	}
+	c.svc.insert.Visit(p, c.payload(size))
+	if _, exists := tbl[key]; exists {
+		return storerr.Newf(storerr.CodeConflict, op, "duplicate key %s", key)
+	}
+	if c.db.bytes+int64(size) > c.db.Edition.SizeCap() {
+		return storerr.Newf(storerr.CodeServerBusy, op,
+			"database full: %s edition caps at %d bytes", c.db.Edition, c.db.Edition.SizeCap())
+	}
+	tbl[key] = &Row{Key: key, Size: size, Version: 1}
+	c.db.bytes += int64(size)
+	return nil
+}
+
+// Select fetches one row by primary key.
+func (c *Conn) Select(p *sim.Proc, table, key string) (*Row, error) {
+	const op = "sql.Select"
+	if err := c.check(op); err != nil {
+		return nil, err
+	}
+	tbl, err := c.table(op, table)
+	if err != nil {
+		return nil, err
+	}
+	row, ok := tbl[key]
+	respSize := 0
+	if ok {
+		respSize = row.Size
+	}
+	c.svc.sel.Visit(p, c.payload(respSize))
+	if !ok {
+		return nil, storerr.Newf(storerr.CodeNotFound, op, "key %s", key)
+	}
+	return row, nil
+}
+
+// SelectRange scans keys in [lo, hi) in key order, pricing the scan by row
+// count — the indexed range query a relational tier offers that table
+// storage (keys-only) cannot.
+func (c *Conn) SelectRange(p *sim.Proc, table, lo, hi string) ([]*Row, error) {
+	const op = "sql.SelectRange"
+	if err := c.check(op); err != nil {
+		return nil, err
+	}
+	tbl, err := c.table(op, table)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Row
+	var bytes int
+	for k, r := range tbl {
+		if k >= lo && k < hi {
+			out = append(out, r)
+			bytes += r.Size
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	scan := time.Duration(float64(len(tbl)) * c.svc.cfg.ScanSecPerRow * float64(time.Second))
+	c.svc.sel.Visit(p, scan+c.payload(bytes))
+	return out, nil
+}
+
+// Update rewrites a row's payload.
+func (c *Conn) Update(p *sim.Proc, table, key string, size int) error {
+	const op = "sql.Update"
+	if err := c.check(op); err != nil {
+		return err
+	}
+	tbl, err := c.table(op, table)
+	if err != nil {
+		return err
+	}
+	c.svc.update.Visit(p, c.payload(size))
+	row, ok := tbl[key]
+	if !ok {
+		return storerr.Newf(storerr.CodeNotFound, op, "key %s", key)
+	}
+	c.db.bytes += int64(size) - int64(row.Size)
+	if c.db.bytes > c.db.Edition.SizeCap() {
+		c.db.bytes -= int64(size) - int64(row.Size)
+		return storerr.Newf(storerr.CodeServerBusy, op, "database full")
+	}
+	row.Size = size
+	row.Version++
+	return nil
+}
+
+// Delete removes a row.
+func (c *Conn) Delete(p *sim.Proc, table, key string) error {
+	const op = "sql.Delete"
+	if err := c.check(op); err != nil {
+		return err
+	}
+	tbl, err := c.table(op, table)
+	if err != nil {
+		return err
+	}
+	c.svc.del.Visit(p, 0)
+	row, ok := tbl[key]
+	if !ok {
+		return storerr.Newf(storerr.CodeNotFound, op, "key %s", key)
+	}
+	delete(tbl, key)
+	c.db.bytes -= int64(row.Size)
+	return nil
+}
+
+// Seed inserts a row instantly (setup helper).
+func (s *Service) Seed(dbName, table, key string, size int) {
+	db := s.dbs[dbName]
+	if db == nil {
+		panic(fmt.Sprintf("sqlsvc: seed into missing database %s", dbName))
+	}
+	db.CreateTable(table)
+	if _, exists := db.tables[table][key]; !exists {
+		db.tables[table][key] = &Row{Key: key, Size: size, Version: 1}
+		db.bytes += int64(size)
+	}
+}

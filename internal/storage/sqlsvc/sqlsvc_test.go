@@ -1,0 +1,248 @@
+package sqlsvc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/storerr"
+)
+
+func newSvc() (*sim.Engine, *Service) {
+	eng := sim.NewEngine()
+	return eng, New(eng, simrand.New(1), Config{})
+}
+
+func TestEditionCaps(t *testing.T) {
+	if Web.SizeCap() != 1*netsim.GB || Business.SizeCap() != 10*netsim.GB {
+		t.Fatal("edition caps wrong")
+	}
+}
+
+func TestCRUDRoundtrip(t *testing.T) {
+	eng, svc := newSvc()
+	db := svc.CreateDatabase("app", Web)
+	db.CreateTable("t")
+	eng.Spawn("c", func(p *sim.Proc) {
+		conn, err := svc.Open(p, "app", 0)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		defer conn.Close()
+		if err := conn.Insert(p, "t", "k1", 1000); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+		if err := conn.Insert(p, "t", "k1", 1000); !storerr.IsCode(err, storerr.CodeConflict) {
+			t.Errorf("duplicate insert = %v", err)
+		}
+		row, err := conn.Select(p, "t", "k1")
+		if err != nil || row.Size != 1000 || row.Version != 1 {
+			t.Errorf("select = %+v, %v", row, err)
+		}
+		if err := conn.Update(p, "t", "k1", 2000); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		row, _ = conn.Select(p, "t", "k1")
+		if row.Size != 2000 || row.Version != 2 {
+			t.Errorf("after update = %+v", row)
+		}
+		if db.Size() != 2000 {
+			t.Errorf("db size = %d", db.Size())
+		}
+		if err := conn.Delete(p, "t", "k1"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		if _, err := conn.Select(p, "t", "k1"); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("select after delete = %v", err)
+		}
+		if db.Size() != 0 {
+			t.Errorf("db size after delete = %d", db.Size())
+		}
+	})
+	eng.Run()
+}
+
+func TestMissingObjects(t *testing.T) {
+	eng, svc := newSvc()
+	svc.CreateDatabase("app", Web)
+	eng.Spawn("c", func(p *sim.Proc) {
+		if _, err := svc.Open(p, "ghost", 0); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("open missing db = %v", err)
+		}
+		conn, _ := svc.Open(p, "app", 0)
+		if err := conn.Insert(p, "ghost", "k", 1); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("insert into missing table = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestConnectionThrottling(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := New(eng, simrand.New(1), Config{MaxConnections: 4})
+	svc.CreateDatabase("app", Web)
+	opened, throttled := 0, 0
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Spawn("c", func(p *sim.Proc) {
+			conn, err := svc.Open(p, "app", i)
+			if storerr.IsCode(err, storerr.CodeServerBusy) {
+				throttled++
+				return
+			}
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			opened++
+			p.Sleep(time.Minute) // hold the connection
+			conn.Close()
+		})
+	}
+	eng.Run()
+	if opened != 4 || throttled != 6 {
+		t.Fatalf("opened/throttled = %d/%d, want 4/6", opened, throttled)
+	}
+	if svc.Throttled() != 6 {
+		t.Fatalf("Throttled() = %d", svc.Throttled())
+	}
+}
+
+func TestConnectionReleaseAllowsReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := New(eng, simrand.New(1), Config{MaxConnections: 1})
+	svc.CreateDatabase("app", Web)
+	var secondOK bool
+	eng.Spawn("a", func(p *sim.Proc) {
+		conn, err := svc.Open(p, "app", 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * time.Second)
+		conn.Close()
+		conn.Close() // double close is a no-op
+	})
+	eng.Spawn("b", func(p *sim.Proc) {
+		p.Sleep(time.Minute)
+		conn, err := svc.Open(p, "app", 1)
+		if err == nil {
+			secondOK = true
+			conn.Close()
+		}
+	})
+	eng.Run()
+	if !secondOK {
+		t.Fatal("released connection not reusable")
+	}
+}
+
+func TestDatabaseFull(t *testing.T) {
+	eng, svc := newSvc()
+	db := svc.CreateDatabase("tiny", Web) // 1 GB cap
+	db.CreateTable("t")
+	eng.Spawn("c", func(p *sim.Proc) {
+		conn, _ := svc.Open(p, "tiny", 0)
+		defer conn.Close()
+		// Fill close to the cap instantly, then push over it.
+		svc.Seed("tiny", "t", "big", int(Web.SizeCap())-500)
+		if err := conn.Insert(p, "t", "one-more", 1000); !storerr.IsCode(err, storerr.CodeServerBusy) {
+			t.Errorf("insert past cap = %v", err)
+		}
+		// Update that would exceed the cap also fails and rolls back.
+		if err := conn.Insert(p, "t", "small", 100); err != nil {
+			t.Errorf("small insert: %v", err)
+		}
+		if err := conn.Update(p, "t", "small", 10000); !storerr.IsCode(err, storerr.CodeServerBusy) {
+			t.Errorf("update past cap = %v", err)
+		}
+		row, _ := conn.Select(p, "t", "small")
+		if row.Size != 100 {
+			t.Errorf("failed update mutated row: %d", row.Size)
+		}
+	})
+	eng.Run()
+}
+
+func TestSelectRange(t *testing.T) {
+	eng, svc := newSvc()
+	svc.CreateDatabase("app", Business)
+	for i := 0; i < 100; i++ {
+		svc.Seed("app", "t", fmt.Sprintf("k%03d", i), 100)
+	}
+	eng.Spawn("c", func(p *sim.Proc) {
+		conn, _ := svc.Open(p, "app", 0)
+		defer conn.Close()
+		rows, err := conn.SelectRange(p, "t", "k010", "k020")
+		if err != nil {
+			t.Errorf("range: %v", err)
+			return
+		}
+		if len(rows) != 10 {
+			t.Errorf("range rows = %d, want 10", len(rows))
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Key <= rows[i-1].Key {
+				t.Error("range not sorted")
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestClosedConnRejected(t *testing.T) {
+	eng, svc := newSvc()
+	svc.CreateDatabase("app", Web)
+	svc.CreateDatabase("app", Business) // idempotent: keeps Web
+	eng.Spawn("c", func(p *sim.Proc) {
+		conn, _ := svc.Open(p, "app", 0)
+		conn.Close()
+		if err := conn.Insert(p, "t", "k", 1); err == nil {
+			t.Error("closed connection accepted an op")
+		}
+	})
+	eng.Run()
+}
+
+func TestLatencyGrowsWithConcurrency(t *testing.T) {
+	rate := func(clients int) float64 {
+		eng := sim.NewEngine()
+		svc := New(eng, simrand.New(2), Config{MaxConnections: 256})
+		svc.CreateDatabase("app", Business)
+		svc.CreateDatabase("app", Business)
+		db := svc.dbs["app"]
+		db.CreateTable("t")
+		var ops int
+		var busy time.Duration
+		for c := 0; c < clients; c++ {
+			c := c
+			eng.Spawn("c", func(p *sim.Proc) {
+				conn, err := svc.Open(p, "app", c)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer conn.Close()
+				start := p.Now()
+				for i := 0; i < 50; i++ {
+					if err := conn.Insert(p, "t", fmt.Sprintf("k-%d-%d", c, i), 1000); err != nil {
+						t.Error(err)
+						return
+					}
+					ops++
+				}
+				busy += p.Now() - start
+			})
+		}
+		eng.Run()
+		return float64(ops) / busy.Seconds()
+	}
+	solo, crowd := rate(1), rate(128)
+	if crowd >= solo {
+		t.Fatalf("per-client insert rate did not degrade: %v vs %v", solo, crowd)
+	}
+}

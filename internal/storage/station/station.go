@@ -1,0 +1,102 @@
+// Package station models a storage-service operation point whose per-op
+// latency grows with client concurrency:
+//
+//	s(n) = s0 · (1 + (n/n0)^γ) · jitter
+//
+// Closed-loop clients (one outstanding request each, as in all the paper's
+// storage experiments) then see aggregate throughput n/s(n), which for γ = 2
+// peaks exactly at n = n0 and declines beyond it — the single-peak shape the
+// paper measured for table Update (peak at 8 clients), table Delete (peak at
+// 128) and queue Add/Receive (peak at 64). For γ < 1 or n0 beyond the tested
+// range the aggregate keeps growing while per-client rates decay gently
+// (table Insert/Query, queue Peek).
+package station
+
+import (
+	"math"
+	"time"
+
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+)
+
+// Config parameterises one operation's contention model.
+type Config struct {
+	// S0 is the uncontended service time.
+	S0 time.Duration
+	// N0 is the contention knee: with Gamma=2, aggregate throughput peaks
+	// at N0 concurrent clients.
+	N0 float64
+	// Gamma is the contention exponent.
+	Gamma float64
+	// CV is the lognormal jitter coefficient of variation (0 = none).
+	CV float64
+}
+
+// Station is a shared operation point. Concurrency n in the latency law is
+// the number of in-flight Visits: closed-loop clients (no think time) are
+// inside a Visit essentially always, so the in-flight count equals the
+// offered concurrency without explicit registration. Attach/Detach allow
+// pinning additional standing load (e.g. background pollers between polls).
+type Station struct {
+	cfg      Config
+	rng      *simrand.RNG
+	attached int
+	ops      uint64
+}
+
+// New builds a station.
+func New(cfg Config, rng *simrand.RNG) *Station {
+	if cfg.S0 <= 0 || cfg.N0 <= 0 || cfg.Gamma < 0 {
+		panic("station: bad config")
+	}
+	return &Station{cfg: cfg, rng: rng}
+}
+
+// Attach registers one more concurrent client.
+func (st *Station) Attach() { st.attached++ }
+
+// Detach unregisters a client.
+func (st *Station) Detach() {
+	if st.attached == 0 {
+		panic("station: detach without attach")
+	}
+	st.attached--
+}
+
+// Attached returns the current client count.
+func (st *Station) Attached() int { return st.attached }
+
+// Ops returns the number of operations served.
+func (st *Station) Ops() uint64 { return st.ops }
+
+// MeanLatency returns the expected service time at concurrency n.
+func (st *Station) MeanLatency(n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	f := 1 + math.Pow(float64(n)/st.cfg.N0, st.cfg.Gamma)
+	return time.Duration(float64(st.cfg.S0) * f)
+}
+
+// SampleLatency draws one service time at the current concurrency.
+func (st *Station) SampleLatency() time.Duration {
+	mean := st.MeanLatency(st.attached).Seconds()
+	if st.cfg.CV <= 0 {
+		return time.Duration(mean * float64(time.Second))
+	}
+	return simrand.Duration(simrand.LogNormalMeanCV(mean, st.cfg.CV), st.rng)
+}
+
+// Visit performs one operation: the calling process sleeps for a service
+// time sampled at the current concurrency (including this visit), plus
+// extra (payload transfer, replication sync). It returns the total service
+// latency. A killed visitor still detaches.
+func (st *Station) Visit(p *sim.Proc, extra time.Duration) time.Duration {
+	st.attached++
+	defer func() { st.attached-- }()
+	d := st.SampleLatency() + extra
+	p.Sleep(d)
+	st.ops++
+	return d
+}

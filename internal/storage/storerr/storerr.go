@@ -1,0 +1,95 @@
+// Package storerr defines the error taxonomy shared by the simulated Azure
+// storage services and the client SDK. The codes mirror the failure classes
+// the paper reports (timeout exceptions in Section 3.2, and the ModisAzure
+// error table in Section 5.2).
+package storerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code identifies a storage error class.
+type Code string
+
+// Error codes observed by the paper's experiments and application logs.
+const (
+	// CodeTimeout is a server-side operation timeout ("timeout exceptions
+	// from the server", Section 3.2).
+	CodeTimeout Code = "OperationTimedOut"
+	// CodeServerBusy is the throttling response of an overloaded service.
+	CodeServerBusy Code = "ServerBusy"
+	// CodeBlobExists is the conflict on creating a blob that already exists
+	// ("Blob already exists", Table 2).
+	CodeBlobExists Code = "BlobAlreadyExists"
+	// CodeNotFound is returned for missing blobs/entities/messages
+	// ("Non-existent source blob", Table 2).
+	CodeNotFound Code = "ResourceNotFound"
+	// CodeConflict is an entity-level concurrency conflict.
+	CodeConflict Code = "Conflict"
+	// CodeCorruptRead is a client-side integrity failure on a downloaded
+	// blob ("Corrupt blob read", Table 2).
+	CodeCorruptRead Code = "CorruptRead"
+	// CodeConnection is a transport-level connection failure
+	// ("Connection failure", Table 2).
+	CodeConnection Code = "ConnectionFailure"
+	// CodeInternal is the storage client's internal error
+	// ("Internal storage client error", Table 2).
+	CodeInternal Code = "InternalClientError"
+)
+
+// Error is a typed storage service error.
+type Error struct {
+	Code Code
+	Op   string // the failing operation, e.g. "blob.Get"
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("%s: %s", e.Op, e.Code)
+	}
+	return fmt.Sprintf("%s: %s: %s", e.Op, e.Code, e.Msg)
+}
+
+// Retryable reports whether retrying the operation can plausibly succeed.
+// Conflicts and not-found are semantic outcomes, not transient faults.
+func (e *Error) Retryable() bool {
+	switch e.Code {
+	case CodeBlobExists, CodeNotFound, CodeConflict:
+		return false
+	default:
+		return true
+	}
+}
+
+// New builds a typed error.
+func New(code Code, op, msg string) *Error {
+	return &Error{Code: code, Op: op, Msg: msg}
+}
+
+// Newf builds a typed error with a formatted message.
+func Newf(code Code, op, format string, args ...any) *Error {
+	return &Error{Code: code, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the storage error code, or "" for nil/foreign errors.
+func CodeOf(err error) Code {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return ""
+}
+
+// IsCode reports whether err carries the given storage code.
+func IsCode(err error, code Code) bool { return CodeOf(err) == code }
+
+// IsRetryable reports whether err is a retryable storage error.
+func IsRetryable(err error) bool {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package storerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorFormatting(t *testing.T) {
+	e := New(CodeTimeout, "table.Insert", "partition overloaded")
+	want := "table.Insert: OperationTimedOut: partition overloaded"
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+	e2 := New(CodeNotFound, "blob.Get", "")
+	if e2.Error() != "blob.Get: ResourceNotFound" {
+		t.Fatalf("Error() = %q", e2.Error())
+	}
+}
+
+func TestNewf(t *testing.T) {
+	e := Newf(CodeBlobExists, "blob.Put", "%s/%s", "c", "b")
+	if e.Msg != "c/b" {
+		t.Fatalf("Msg = %q", e.Msg)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	retryable := []Code{CodeTimeout, CodeServerBusy, CodeCorruptRead, CodeConnection, CodeInternal}
+	for _, c := range retryable {
+		if !New(c, "op", "").Retryable() {
+			t.Fatalf("%s should be retryable", c)
+		}
+	}
+	terminal := []Code{CodeBlobExists, CodeNotFound, CodeConflict}
+	for _, c := range terminal {
+		if New(c, "op", "").Retryable() {
+			t.Fatalf("%s should not be retryable", c)
+		}
+	}
+}
+
+func TestCodeOfWrapped(t *testing.T) {
+	base := New(CodeServerBusy, "q.Add", "")
+	wrapped := fmt.Errorf("attempt 3: %w", base)
+	if CodeOf(wrapped) != CodeServerBusy {
+		t.Fatalf("CodeOf(wrapped) = %q", CodeOf(wrapped))
+	}
+	if !IsCode(wrapped, CodeServerBusy) {
+		t.Fatal("IsCode(wrapped) = false")
+	}
+	if IsCode(wrapped, CodeTimeout) {
+		t.Fatal("IsCode with wrong code = true")
+	}
+	if !IsRetryable(wrapped) {
+		t.Fatal("IsRetryable(wrapped ServerBusy) = false")
+	}
+}
+
+func TestCodeOfForeign(t *testing.T) {
+	if CodeOf(errors.New("plain")) != "" {
+		t.Fatal("CodeOf(plain error) should be empty")
+	}
+	if CodeOf(nil) != "" {
+		t.Fatal("CodeOf(nil) should be empty")
+	}
+	if IsRetryable(errors.New("plain")) {
+		t.Fatal("plain errors are not retryable storage errors")
+	}
+}

@@ -1,0 +1,384 @@
+// Package tablesvc simulates the Windows Azure table storage service as
+// measured in Section 3.2 of the paper: schemaless entities addressed by
+// (PartitionKey, RowKey), four operations (Insert, Query, Update, Delete)
+// with distinct contention behaviour, a partition ingest capacity whose
+// overload produces server-side timeout exceptions at large entity sizes and
+// high concurrency, and slow property-filter scans that time out under
+// concurrency (Section 6.1).
+//
+// Calibration (per-client ops/s as a function of concurrency, Fig. 2):
+//   - Insert/Query decay gently and do not saturate the server through 192
+//     clients (γ < 1, knee beyond the tested range).
+//   - Update on a single hot entity peaks in aggregate at 8 clients (γ = 2,
+//     n0 = 8): unconditional updates still serialise on the entity's row.
+//   - Delete peaks in aggregate at 128 clients (γ = 2, n0 = 128).
+package tablesvc
+
+import (
+	"time"
+
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/station"
+	"azureobs/internal/storage/storerr"
+)
+
+// PropKind tags an entity property type.
+type PropKind int
+
+// Property kinds (the paper's test entities use {int, int, String, String}).
+const (
+	PropInt PropKind = iota
+	PropString
+)
+
+// Prop is one schemaless entity property.
+type Prop struct {
+	Kind PropKind
+	Int  int64
+	Str  string
+}
+
+// IntProp builds an integer property.
+func IntProp(v int64) Prop { return Prop{Kind: PropInt, Int: v} }
+
+// StrProp builds a string property.
+func StrProp(v string) Prop { return Prop{Kind: PropString, Str: v} }
+
+// size returns the property's wire size in bytes.
+func (p Prop) size() int {
+	if p.Kind == PropInt {
+		return 8
+	}
+	return len(p.Str)
+}
+
+// Entity is one table row. PadBytes counts filler payload that contributes
+// to the wire size without being materialised — the paper's test entities
+// carry a sizing string of up to 64 kB whose content is irrelevant.
+type Entity struct {
+	PartitionKey string
+	RowKey       string
+	Props        map[string]Prop
+	PadBytes     int
+}
+
+// Size returns the entity's payload size in bytes.
+func (e *Entity) Size() int {
+	n := len(e.PartitionKey) + len(e.RowKey) + e.PadBytes
+	for k, p := range e.Props {
+		n += len(k) + p.size()
+	}
+	return n
+}
+
+// PaddedEntity builds a paper-style test entity {int, int, String, String}
+// padded to the requested total size — the protocol of Section 3.2. The
+// fourth (sizing) property is tracked by size only.
+func PaddedEntity(pk, rk string, totalSize int) *Entity {
+	e := &Entity{
+		PartitionKey: pk,
+		RowKey:       rk,
+		Props: map[string]Prop{
+			"A": IntProp(1),
+			"B": IntProp(2),
+			"C": StrProp("fixed"),
+		},
+	}
+	if pad := totalSize - e.Size(); pad > 0 {
+		e.PadBytes = pad
+	}
+	return e
+}
+
+// Config parameterises the service; zero fields take calibrated defaults.
+type Config struct {
+	Insert, Query, Update, Delete station.Config
+
+	// ServerTimeout is the server-side request deadline; overloaded
+	// requests burn this long before failing.
+	ServerTimeout time.Duration
+
+	// IngestCapacity is the partition's sustainable write bandwidth. When
+	// the offered insert/delete load exceeds it, per-op timeout probability
+	// rises as OverloadK·(1−1/ρ) — which reproduces the 64 kB insert
+	// survivor counts (94/128 and 89/192 clients finishing 500 ops).
+	IngestCapacity netsim.Bandwidth
+	OverloadK      float64
+
+	// ScanSecPerEntity and ScanConcurrencyN0 shape property-filter queries:
+	// scan latency = entities·ScanSecPerEntity·(1 + n/N0). With ~220k
+	// entities and 32 concurrent scanners this exceeds the server timeout
+	// more often than not (Section 6.1).
+	ScanSecPerEntity  float64
+	ScanConcurrencyN0 float64
+	ScanCV            float64
+
+	// ClientWriteBW/ClientReadBW convert payload sizes into transfer time
+	// added to each op.
+	ClientWriteBW netsim.Bandwidth
+	ClientReadBW  netsim.Bandwidth
+}
+
+// DefaultConfig returns the Fig. 2 calibration.
+func DefaultConfig() Config {
+	return Config{
+		Insert: station.Config{S0: 36 * time.Millisecond, N0: 136, Gamma: 0.9, CV: 0.25},
+		Query:  station.Config{S0: 15 * time.Millisecond, N0: 150, Gamma: 0.9, CV: 0.25},
+		Update: station.Config{S0: 8 * time.Millisecond, N0: 8, Gamma: 2, CV: 0.3},
+		Delete: station.Config{S0: 25 * time.Millisecond, N0: 128, Gamma: 2, CV: 0.3},
+
+		ServerTimeout: 30 * time.Second,
+
+		IngestCapacity: 100 * netsim.MBps,
+		OverloadK:      0.0045,
+
+		ScanSecPerEntity:  32e-6,
+		ScanConcurrencyN0: 8,
+		ScanCV:            0.35,
+
+		ClientWriteBW: 6.5 * netsim.MBps,
+		ClientReadBW:  13 * netsim.MBps,
+	}
+}
+
+// Service is one table storage account endpoint.
+type Service struct {
+	cfg Config
+	rng *simrand.RNG
+
+	insert, query, update, delete *station.Station
+
+	tables map[string]map[string]map[string]*Entity // table → pk → rk
+
+	scans    int // concurrent property-filter scans
+	timeouts uint64
+}
+
+// New creates a table service.
+func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
+	def := DefaultConfig()
+	if cfg.Insert.S0 == 0 {
+		cfg.Insert = def.Insert
+	}
+	if cfg.Query.S0 == 0 {
+		cfg.Query = def.Query
+	}
+	if cfg.Update.S0 == 0 {
+		cfg.Update = def.Update
+	}
+	if cfg.Delete.S0 == 0 {
+		cfg.Delete = def.Delete
+	}
+	if cfg.ServerTimeout == 0 {
+		cfg.ServerTimeout = def.ServerTimeout
+	}
+	if cfg.IngestCapacity == 0 {
+		cfg.IngestCapacity = def.IngestCapacity
+	}
+	if cfg.OverloadK == 0 {
+		cfg.OverloadK = def.OverloadK
+	}
+	if cfg.ScanSecPerEntity == 0 {
+		cfg.ScanSecPerEntity = def.ScanSecPerEntity
+	}
+	if cfg.ScanConcurrencyN0 == 0 {
+		cfg.ScanConcurrencyN0 = def.ScanConcurrencyN0
+	}
+	if cfg.ScanCV == 0 {
+		cfg.ScanCV = def.ScanCV
+	}
+	if cfg.ClientWriteBW == 0 {
+		cfg.ClientWriteBW = def.ClientWriteBW
+	}
+	if cfg.ClientReadBW == 0 {
+		cfg.ClientReadBW = def.ClientReadBW
+	}
+	r := rng.Fork("tablesvc")
+	return &Service{
+		cfg:    cfg,
+		rng:    r,
+		insert: station.New(cfg.Insert, r.Fork("insert")),
+		query:  station.New(cfg.Query, r.Fork("query")),
+		update: station.New(cfg.Update, r.Fork("update")),
+		delete: station.New(cfg.Delete, r.Fork("delete")),
+		tables: make(map[string]map[string]map[string]*Entity),
+	}
+}
+
+// Timeouts returns the count of server-side timeout responses issued.
+func (s *Service) Timeouts() uint64 { return s.timeouts }
+
+// CreateTable makes a table (idempotent).
+func (s *Service) CreateTable(name string) {
+	if _, ok := s.tables[name]; !ok {
+		s.tables[name] = make(map[string]map[string]*Entity)
+	}
+}
+
+// Backdoor inserts an entity instantly, bypassing the timed request path.
+// It is a setup helper for experiments that need a pre-populated partition
+// (e.g. the ~220k-entity partition of Section 3.2).
+func (s *Service) Backdoor(table string, e *Entity) {
+	s.CreateTable(table)
+	s.partition(table, e.PartitionKey)[e.RowKey] = e
+}
+
+// PartitionSize returns the entity count of one partition.
+func (s *Service) PartitionSize(table, pk string) int {
+	return len(s.tables[table][pk])
+}
+
+func (s *Service) partition(table, pk string) map[string]*Entity {
+	t, ok := s.tables[table]
+	if !ok {
+		return nil
+	}
+	p, ok := t[pk]
+	if !ok {
+		p = make(map[string]*Entity)
+		t[pk] = p
+	}
+	return p
+}
+
+// writeTime converts a payload into client-upstream transfer time.
+func (s *Service) writeTime(size int) time.Duration {
+	return time.Duration(float64(size) / float64(s.cfg.ClientWriteBW) * float64(time.Second))
+}
+
+func (s *Service) readTime(size int) time.Duration {
+	return time.Duration(float64(size) / float64(s.cfg.ClientReadBW) * float64(time.Second))
+}
+
+// overloaded applies the ingest-overload timeout model for write-class ops:
+// with n concurrent clients pushing size-byte payloads at the station's mean
+// rate, per-op timeout probability is OverloadK·(1−1/ρ) once offered load ρ
+// exceeds 1.
+func (s *Service) overloaded(p *sim.Proc, st *station.Station, size int, op string) error {
+	n := st.Attached()
+	if n < 1 {
+		n = 1
+	}
+	offered := float64(n) * float64(size) / st.MeanLatency(n).Seconds()
+	rho := offered / float64(s.cfg.IngestCapacity)
+	if rho <= 1 {
+		return nil
+	}
+	if s.rng.Hit(s.cfg.OverloadK * (1 - 1/rho)) {
+		p.Sleep(s.cfg.ServerTimeout)
+		s.timeouts++
+		return storerr.Newf(storerr.CodeTimeout, op, "partition ingest overloaded (rho=%.2f)", rho)
+	}
+	return nil
+}
+
+// Insert adds a new entity; inserting an existing (pk, rk) is a conflict.
+func (s *Service) Insert(p *sim.Proc, table string, e *Entity) error {
+	const op = "table.Insert"
+	part := s.partition(table, e.PartitionKey)
+	if part == nil {
+		return storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
+	}
+	if err := s.overloaded(p, s.insert, e.Size(), op); err != nil {
+		return err
+	}
+	s.insert.Visit(p, s.writeTime(e.Size()))
+	if _, exists := part[e.RowKey]; exists {
+		return storerr.Newf(storerr.CodeConflict, op, "%s/%s exists", e.PartitionKey, e.RowKey)
+	}
+	part[e.RowKey] = e
+	return nil
+}
+
+// Get retrieves one entity by partition and row key — the fast, indexed
+// query path of the paper's Query experiment.
+func (s *Service) Get(p *sim.Proc, table, pk, rk string) (*Entity, error) {
+	const op = "table.Query"
+	part := s.partition(table, pk)
+	if part == nil {
+		return nil, storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
+	}
+	e, ok := part[rk]
+	var respSize int
+	if ok {
+		respSize = e.Size()
+	}
+	s.query.Visit(p, s.readTime(respSize))
+	if !ok {
+		return nil, storerr.Newf(storerr.CodeNotFound, op, "%s/%s", pk, rk)
+	}
+	return e, nil
+}
+
+// Update replaces an entity's properties unconditionally (no ETag check) —
+// the mode the paper tested so concurrent clients can hit one entity.
+func (s *Service) Update(p *sim.Proc, table string, e *Entity) error {
+	const op = "table.Update"
+	part := s.partition(table, e.PartitionKey)
+	if part == nil {
+		return storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
+	}
+	s.update.Visit(p, s.writeTime(e.Size()))
+	if _, ok := part[e.RowKey]; !ok {
+		return storerr.Newf(storerr.CodeNotFound, op, "%s/%s", e.PartitionKey, e.RowKey)
+	}
+	part[e.RowKey] = e
+	return nil
+}
+
+// Delete removes one entity.
+func (s *Service) Delete(p *sim.Proc, table, pk, rk string) error {
+	const op = "table.Delete"
+	part := s.partition(table, pk)
+	if part == nil {
+		return storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
+	}
+	e, ok := part[rk]
+	size := 0
+	if ok {
+		size = e.Size()
+	}
+	if err := s.overloaded(p, s.delete, size, op); err != nil {
+		return err
+	}
+	s.delete.Visit(p, 0)
+	if !ok {
+		return storerr.Newf(storerr.CodeNotFound, op, "%s/%s", pk, rk)
+	}
+	delete(part, rk)
+	return nil
+}
+
+// QueryFilter scans a partition evaluating pred on every entity — the
+// non-indexed property-filter query the paper warns against (Section 6.1):
+// scan latency grows with partition size and concurrent scanners, and
+// requests exceeding the server timeout fail.
+func (s *Service) QueryFilter(p *sim.Proc, table, pk string, pred func(*Entity) bool) ([]*Entity, error) {
+	const op = "table.QueryFilter"
+	part := s.partition(table, pk)
+	if part == nil {
+		return nil, storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
+	}
+	s.scans++
+	defer func() { s.scans-- }()
+	// Let simultaneously issued scans register before the cost is priced:
+	// a burst of filter queries slows every member of the burst.
+	p.Yield()
+	mean := float64(len(part)) * s.cfg.ScanSecPerEntity * (1 + float64(s.scans)/s.cfg.ScanConcurrencyN0)
+	lat := simrand.Duration(simrand.LogNormalMeanCV(mean, s.cfg.ScanCV), s.rng)
+	if lat > s.cfg.ServerTimeout {
+		p.Sleep(s.cfg.ServerTimeout)
+		s.timeouts++
+		return nil, storerr.Newf(storerr.CodeTimeout, op, "scan of %d entities timed out", len(part))
+	}
+	p.Sleep(lat)
+	var out []*Entity
+	for _, e := range part {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

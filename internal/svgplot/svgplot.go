@@ -1,0 +1,236 @@
+// Package svgplot renders experiment results as standalone SVG figures
+// using only the standard library — line charts with optional log₂ x-axes
+// (the paper's concurrency ladders), CDF curves (Figs. 4-5) and bar series
+// (Fig. 7). cmd/azbench and cmd/modisazure write these next to their text
+// output so the reproduced figures can be compared with the published ones
+// side by side.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Kind selects the mark type.
+type Kind int
+
+// Plot kinds.
+const (
+	Lines Kind = iota
+	Bars
+)
+
+// Plot is one figure.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Log2X draws the x axis in log₂ space (client-count ladders).
+	Log2X bool
+	// Kind selects lines (default) or bars (single series).
+	Kind Kind
+	// W, H are the pixel dimensions (defaults 640x420).
+	W, H int
+
+	series []Series
+}
+
+// New creates a figure.
+func New(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, W: 640, H: 420}
+}
+
+// Add appends a named series; x and y must have equal nonzero length.
+func (p *Plot) Add(name string, x, y []float64) *Plot {
+	if len(x) != len(y) || len(x) == 0 {
+		panic("svgplot: series lengths must match and be nonzero")
+	}
+	p.series = append(p.series, Series{Name: name, X: append([]float64(nil), x...), Y: append([]float64(nil), y...)})
+	return p
+}
+
+// palette is a color cycle distinguishable in grayscale print too.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const margin = 56
+
+// Render writes the SVG document.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("svgplot: no series")
+	}
+	if p.W == 0 {
+		p.W = 640
+	}
+	if p.H == 0 {
+		p.H = 420
+	}
+	xmin, xmax, ymin, ymax := p.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		p.W, p.H, p.W, p.H)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		p.W/2, esc(p.Title))
+
+	// Plot area.
+	px0, py0 := margin, 40
+	px1, py1 := p.W-24, p.H-margin
+	toX := func(x float64) float64 {
+		if p.Log2X {
+			x = math.Log2(x)
+		}
+		lo, hi := xmin, xmax
+		if p.Log2X {
+			lo, hi = math.Log2(xmin), math.Log2(xmax)
+		}
+		if hi == lo {
+			return float64(px0)
+		}
+		return float64(px0) + (x-lo)/(hi-lo)*float64(px1-px0)
+	}
+	toY := func(y float64) float64 {
+		if ymax == ymin {
+			return float64(py1)
+		}
+		return float64(py1) - (y-ymin)/(ymax-ymin)*float64(py1-py0)
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", px0, py1, px1, py1)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", px0, py0, px0, py1)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		(px0+px1)/2, p.H-16, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		(py0+py1)/2, (py0+py1)/2, esc(p.YLabel))
+
+	// Ticks.
+	for _, t := range p.xticks(xmin, xmax) {
+		x := toX(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n", x, py1, x, py1+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			x, py1+16, fmtTick(t))
+	}
+	for _, t := range niceTicks(ymin, ymax, 6) {
+		y := toY(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", px0, y, px1, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			px0-6, y+3, fmtTick(t))
+	}
+
+	// Marks.
+	for i, s := range p.series {
+		color := palette[i%len(palette)]
+		switch p.Kind {
+		case Bars:
+			barW := float64(px1-px0) / float64(len(s.X)) * 0.9
+			for j := range s.X {
+				x := toX(s.X[j])
+				y := toY(s.Y[j])
+				if s.Y[j] <= ymin {
+					continue
+				}
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.1f" fill="%s"/>`+"\n",
+					x-barW/2, y, math.Max(barW, 0.5), float64(py1)-y, color)
+			}
+		default:
+			pts := make([]string, len(s.X))
+			for j := range s.X {
+				pts[j] = fmt.Sprintf("%.1f,%.1f", toX(s.X[j]), toY(s.Y[j]))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+			for j := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+					toX(s.X[j]), toY(s.Y[j]), color)
+			}
+		}
+		// Legend.
+		ly := py0 + 14 + i*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", px1-130, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			px1-115, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bounds computes data extents; y always includes 0.
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), 0
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	ymax *= 1.05
+	return
+}
+
+// xticks places x-axis ticks: the actual ladder points in log mode, nice
+// numbers otherwise.
+func (p *Plot) xticks(xmin, xmax float64) []float64 {
+	if p.Log2X {
+		var out []float64
+		for v := xmin; v <= xmax*1.0001; v *= 2 {
+			out = append(out, v)
+		}
+		if len(out) > 0 && out[len(out)-1] < xmax*0.999 {
+			out = append(out, xmax)
+		}
+		return out
+	}
+	return niceTicks(xmin, xmax, 8)
+}
+
+// niceTicks returns ~n round tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch norm := rawStep / mag; {
+	case norm < 1.5:
+		step = mag
+	case norm < 3.5:
+		step = 2 * mag
+	case norm < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi*1.0001; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

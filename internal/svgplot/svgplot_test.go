@@ -1,0 +1,150 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, p *Plot) string {
+	t.Helper()
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return b.String()
+}
+
+// wellFormed parses the SVG as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("svg not well-formed: %v", err)
+		}
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	p := New("Fig 1 — blob bandwidth", "concurrent clients", "MB/s")
+	p.Log2X = true
+	p.Add("download", []float64{1, 2, 4, 8, 16, 32, 64, 128, 192},
+		[]float64{13, 13, 13, 13, 9.5, 6.5, 5, 3.07, 2.02})
+	p.Add("upload", []float64{1, 2, 4, 8, 16, 32, 64, 128, 192},
+		[]float64{6.5, 6.5, 6.5, 6.5, 5, 2.5, 1.25, 0.9, 0.65})
+	svg := render(t, p)
+	wellFormed(t, svg)
+	for _, want := range []string{"polyline", "Fig 1", "download", "upload", "MB/s", "concurrent clients"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	// Log ladder ticks include the powers of two.
+	for _, tick := range []string{">1<", ">2<", ">64<", ">128<"} {
+		if !strings.Contains(svg, tick) {
+			t.Fatalf("missing log tick %s", tick)
+		}
+	}
+}
+
+func TestBarPlot(t *testing.T) {
+	p := New("Fig 7", "day", "% timeouts")
+	p.Kind = Bars
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+		if i == 50 {
+			y[i] = 16
+		}
+	}
+	p.Add("daily timeout share", x, y)
+	svg := render(t, p)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<rect") {
+		t.Fatal("no bars drawn")
+	}
+	// Only the spike day produces a visible bar plus the background rect
+	// and the legend swatch.
+	if n := strings.Count(svg, "<rect"); n != 3 {
+		t.Fatalf("rect count = %d, want 3 (background, one bar, legend)", n)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	p := New(`A<B & "C"`, "x", "y")
+	p.Add("s<1>", []float64{1, 2}, []float64{1, 2})
+	svg := render(t, p)
+	wellFormed(t, svg)
+	if strings.Contains(svg, `A<B`) {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestEmptyPlotErrors(t *testing.T) {
+	var b strings.Builder
+	if err := New("t", "x", "y").Render(&b); err == nil {
+		t.Fatal("empty plot rendered")
+	}
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths accepted")
+		}
+	}()
+	New("t", "x", "y").Add("s", []float64{1}, []float64{1, 2})
+}
+
+func TestConstantSeries(t *testing.T) {
+	// Degenerate extents must not divide by zero.
+	p := New("flat", "x", "y")
+	p.Add("s", []float64{5, 5, 5}, []float64{0, 0, 0})
+	svg := render(t, p)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate plot produced NaN/Inf coordinates")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || ticks[0] != 0 || ticks[len(ticks)-1] != 100 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+	// Round steps only.
+	ticks = niceTicks(0, 0.93, 5)
+	for _, v := range ticks {
+		scaled := v / 0.1
+		if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+			t.Fatalf("non-round tick %v in %v", v, ticks)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(128) != "128" {
+		t.Fatalf("fmtTick(128) = %s", fmtTick(128))
+	}
+	if fmtTick(0.125) != "0.125" {
+		t.Fatalf("fmtTick(0.125) = %s", fmtTick(0.125))
+	}
+}
