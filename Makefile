@@ -1,0 +1,27 @@
+# Pre-merge gate: `make check` must pass before any merge. It builds
+# everything, vets, runs the full test suite under the race detector, and
+# smoke-runs every benchmark once so the bench harness can never rot.
+.PHONY: check build vet test bench-smoke bench netbench
+
+check: build vet test bench-smoke
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test -race ./...
+
+# One iteration of every benchmark — correctness of the harness, not timing.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full timed microbenchmarks (internal/netsim flow churn + sweeps).
+bench:
+	go test -run '^$$' -bench . -benchmem ./internal/netsim
+
+# Refresh the checked-in performance baseline.
+netbench:
+	go run ./cmd/azbench -run netbench

@@ -28,13 +28,14 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "artifact: all|fig1|fig2|fig3|table1|tcp|propfilter|queuedepth|replication|fig2sizes|fig3sizes")
+		run    = flag.String("run", "all", "artifact: all|fig1|fig2|fig3|table1|tcp|propfilter|queuedepth|replication|fig2sizes|fig3sizes|netbench")
 		seed   = flag.Uint64("seed", 42, "root random seed")
 		quick  = flag.Bool("quick", false, "reduced scale for fast runs")
 		entity = flag.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
 		msg    = flag.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
 		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir = flag.String("svg", "", "also write SVG figures into this directory")
+		bench  = flag.String("benchout", "BENCH_netsim.json", "output path for the netbench artifact")
 	)
 	flag.Parse()
 	if *svgDir != "" {
@@ -94,6 +95,10 @@ func main() {
 	}
 	if all || which == "startup" {
 		runStartup(*seed, *quick, emit)
+		ran = true
+	}
+	if which == "netbench" {
+		runNetBench(*seed, *quick, *bench)
 		ran = true
 	}
 	if which == "fig2sizes" {

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"azureobs/internal/core"
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+)
+
+// The netbench artifact measures the simulator's hot path — flow-churn cost
+// in internal/netsim and end-to-end paper-figure sweep wall-time — and
+// writes BENCH_netsim.json so performance can be tracked across PRs.
+//
+// seedChurnNs / seedSweepMS are the same measurements captured on the seed
+// solver (from-scratch map-based reallocation, no event pooling) with this
+// exact harness on the reference machine; they ride along in the JSON so
+// every later capture carries its own point of comparison.
+var seedChurnNs = map[int]float64{
+	1:   313.4,
+	32:  22633.4,
+	192: 134335.3,
+}
+
+var seedSweepMS = map[string]float64{
+	"fig1": 38.2,
+	"fig2": 1172.2,
+}
+
+type churnPoint struct {
+	Flows     int     `json:"flows"`
+	Iters     int     `json:"iters"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	SeedNsOp  float64 `json:"seed_ns_per_op,omitempty"`
+	Speedup   float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+type sweepPoint struct {
+	Name       string  `json:"name"`
+	Config     string  `json:"config"`
+	WallMS     float64 `json:"wall_ms"`
+	SeedWallMS float64 `json:"seed_wall_ms,omitempty"`
+	Speedup    float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+type netBenchReport struct {
+	Suite      string       `json:"suite"`
+	CapturedAt string       `json:"captured_at"`
+	GoVersion  string       `json:"go_version"`
+	NumCPU     int          `json:"num_cpu"`
+	Note       string       `json:"note"`
+	FlowChurn  []churnPoint `json:"flow_churn"`
+	Sweeps     []sweepPoint `json:"sweeps"`
+}
+
+// netbenchTopology mirrors the paper's Section 3.1 blob-download shape (and
+// internal/netsim's benchmark suite): one shared trunk with the calibrated
+// concurrency-dependent capacity profile plus a private NIC per client.
+func netbenchTopology(fab *netsim.Fabric, clients int) (trunk *netsim.Link, nics []*netsim.Link) {
+	trunk = fab.NewLink("trunk", 400*netsim.MBps)
+	trunk.SetCapacityFn(netsim.CapacityProfile(
+		netsim.ProfilePoint{N: 1, Capacity: 50 * netsim.MBps},
+		netsim.ProfilePoint{N: 8, Capacity: 110 * netsim.MBps},
+		netsim.ProfilePoint{N: 32, Capacity: 208 * netsim.MBps},
+		netsim.ProfilePoint{N: 128, Capacity: 393 * netsim.MBps},
+		netsim.ProfilePoint{N: 192, Capacity: 388 * netsim.MBps},
+	))
+	nics = make([]*netsim.Link, clients)
+	for i := range nics {
+		nics[i] = fab.NewLink("nic", 13*netsim.MBps)
+	}
+	return trunk, nics
+}
+
+// churnNsPerOp times one arrival+departure cycle against a standing
+// population of flows-1 transfers. Each cycle is two reallocations.
+func churnNsPerOp(flows, iters int) float64 {
+	eng := sim.NewEngine()
+	fab := netsim.NewFabric(eng)
+	trunk, nics := netbenchTopology(fab, flows)
+	fls := make([]*netsim.Flow, flows)
+	for i := range fls {
+		fls[i] = fab.StartFlow(1000*netsim.GB, trunk, nics[i])
+	}
+	churn := func(n int) {
+		for i := 0; i < n; i++ {
+			slot := i % flows
+			fab.Abandon(fls[slot])
+			fls[slot] = fab.StartFlow(1000*netsim.GB, trunk, nics[slot])
+		}
+	}
+	churn(iters/10 + 1) // warmup
+	start := time.Now()
+	churn(iters)
+	return float64(time.Since(start)) / float64(iters)
+}
+
+func runNetBench(seed uint64, quick bool, out string) {
+	rep := netBenchReport{
+		Suite:      "netsim",
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Note: "flow-churn: ns per arrival+departure cycle against a standing population " +
+			"on the fig1 trunk+NIC topology; sweeps: wall time of deterministic paper-figure " +
+			"runs. seed_* fields were captured with this harness on the pre-incremental solver.",
+	}
+
+	iters := map[int]int{1: 200000, 32: 20000, 192: 5000}
+	if quick {
+		iters = map[int]int{1: 20000, 32: 2000, 192: 500}
+	}
+	for _, flows := range []int{1, 32, 192} {
+		ns := churnNsPerOp(flows, iters[flows])
+		pt := churnPoint{
+			Flows:     flows,
+			Iters:     iters[flows],
+			NsPerOp:   ns,
+			OpsPerSec: 1e9 / ns,
+		}
+		if base := seedChurnNs[flows]; base > 0 {
+			pt.SeedNsOp = base
+			pt.Speedup = base / ns
+		}
+		rep.FlowChurn = append(rep.FlowChurn, pt)
+		fmt.Printf("netbench: flow churn %3d flows: %10.0f ns/op\n", flows, ns)
+	}
+
+	sweeps := []struct {
+		name, config string
+		run          func()
+	}{
+		{
+			"fig1", "seed=42 clients=1,8,32,64,128,192 blob=32MB runs=1",
+			func() {
+				core.RunFig1(core.Fig1Config{Seed: seed, Clients: []int{1, 8, 32, 64, 128, 192}, BlobMB: 32, Runs: 1})
+			},
+		},
+		{
+			"fig2", "seed=42 clients=1,8,64 entity=4096 ops=40/40/20",
+			func() {
+				core.RunFig2(core.Fig2Config{Seed: seed, Clients: []int{1, 8, 64}, EntitySize: 4096,
+					Inserts: 40, Queries: 40, Updates: 20})
+			},
+		},
+	}
+	for _, s := range sweeps {
+		s.run() // warmup
+		start := time.Now()
+		s.run()
+		ms := float64(time.Since(start)) / 1e6
+		pt := sweepPoint{Name: s.name, Config: s.config, WallMS: ms}
+		if base := seedSweepMS[s.name]; base > 0 {
+			pt.SeedWallMS = base
+			pt.Speedup = base / ms
+		}
+		rep.Sweeps = append(rep.Sweeps, pt)
+		fmt.Printf("netbench: %s sweep: %.1f ms\n", s.name, ms)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
 	"azureobs/internal/storage/storerr"
 )
 
@@ -18,6 +19,29 @@ type RetryPolicy struct {
 	Multiplier float64
 	// MaxBackoff caps the grown backoff (0 = uncapped).
 	MaxBackoff time.Duration
+	// Jitter spreads each wait uniformly over [(1-Jitter)·backoff, backoff].
+	// Without it, a closed-loop client pool that hits ServerBusy at the same
+	// instant retries in lockstep and re-collides on every attempt. Must be
+	// in [0, 1]; 0 (the zero value) disables jitter.
+	Jitter float64
+	// Rand supplies the jitter draws. Required when Jitter > 0: it must be a
+	// per-client stream (simrand.RNG.Fork) so runs stay reproducible and
+	// adding a client never perturbs another client's schedule.
+	Rand *simrand.RNG
+}
+
+// WithJitter returns a copy of the policy that jitters each backoff by up to
+// the given fraction, drawing from rng.
+func (rp RetryPolicy) WithJitter(fraction float64, rng *simrand.RNG) RetryPolicy {
+	if fraction < 0 || fraction > 1 {
+		panic("azure: retry jitter fraction must be in [0, 1]")
+	}
+	if fraction > 0 && rng == nil {
+		panic("azure: retry jitter requires a simrand stream")
+	}
+	rp.Jitter = fraction
+	rp.Rand = rng
+	return rp
 }
 
 // DefaultRetryPolicy mirrors the storage client library's classic
@@ -41,7 +65,14 @@ func (rp RetryPolicy) Do(p *sim.Proc, op func() error) error {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 && backoff > 0 {
-			p.Sleep(backoff)
+			wait := backoff
+			if rp.Jitter > 0 {
+				if rp.Rand == nil {
+					panic("azure: RetryPolicy.Jitter set without a Rand stream")
+				}
+				wait = time.Duration(float64(wait) * (1 - rp.Jitter*rp.Rand.Float64()))
+			}
+			p.Sleep(wait)
 			backoff = time.Duration(float64(backoff) * rp.Multiplier)
 			if rp.MaxBackoff > 0 && backoff > rp.MaxBackoff {
 				backoff = rp.MaxBackoff

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"testing"
+
+	"azureobs/internal/fabric"
+)
+
+// Trace goldens: every experiment below is hashed over the exact float64 bit
+// patterns of its outputs (including sample insertion order, which reflects
+// event ordering). The expected hashes were captured from the seed
+// (from-scratch, map-based) netsim solver; the incremental fast path must
+// reproduce each simulation trace bit-for-bit, so any hash drift here means
+// an optimization changed observable behaviour, not just speed.
+//
+// To re-capture after an intentional behaviour change:
+//
+//	GOLDEN_PRINT=1 go test ./internal/core -run TestTraceGoldens -v
+
+type goldenHasher struct{ h *fnvWrap }
+
+type fnvWrap struct {
+	inner interface {
+		Write([]byte) (int, error)
+		Sum64() uint64
+	}
+}
+
+func newGoldenHasher() *goldenHasher {
+	return &goldenHasher{h: &fnvWrap{inner: fnv.New64a()}}
+}
+
+func (g *goldenHasher) f64(x float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+	g.h.inner.Write(b[:])
+}
+
+func (g *goldenHasher) i64(x int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(x))
+	g.h.inner.Write(b[:])
+}
+
+func (g *goldenHasher) sum() uint64 { return g.h.inner.Sum64() }
+
+// goldenTraces are the expected hashes, captured from the seed solver.
+var goldenTraces = map[string]uint64{
+	"fig1/seed42":        0x0d0fdb73ce2c55ca,
+	"fig1/seed7":         0xd73b2f7f3453add5,
+	"fig2/seed42":        0xcb599ca2efbae722,
+	"fig3/seed42":        0x8a623ee40b857a3a,
+	"propfilter/seed42":  0x4a96dcfc80d93308,
+	"queuedepth/seed42":  0xb23d12bd169dadbb,
+	"replication/seed42": 0x85528724f66cdf2c,
+	"sqlcompare/seed42":  0xf935085b8933e397,
+	"table1/seed42":      0x4e784a63e88ba312,
+	"tcp/seed42":         0x78f20dbc473c956b,
+}
+
+func traceHashes() map[string]uint64 {
+	out := map[string]uint64{}
+
+	{
+		g := newGoldenHasher()
+		r := RunFig1(Fig1Config{Seed: 42, Clients: []int{1, 8, 32, 64, 128, 192}, BlobMB: 32, Runs: 1})
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.DownMBps)
+			g.f64(p.DownAggMBps)
+			g.f64(p.UpMBps)
+			g.f64(p.UpAggMBps)
+			g.f64(p.DownMBpsStddev)
+		}
+		out["fig1/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunFig1(Fig1Config{Seed: 7, Clients: []int{1, 64, 192}, BlobMB: 16, Runs: 2})
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.DownMBps)
+			g.f64(p.DownAggMBps)
+			g.f64(p.UpMBps)
+			g.f64(p.UpAggMBps)
+			g.f64(p.DownMBpsStddev)
+		}
+		out["fig1/seed7"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunFig2(Fig2Config{Seed: 42, Clients: []int{1, 8, 64}, EntitySize: 4096,
+			Inserts: 40, Queries: 40, Updates: 20})
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.InsertOps)
+			g.f64(p.QueryOps)
+			g.f64(p.UpdateOps)
+			g.f64(p.DeleteOps)
+			g.i64(int64(p.InsertSurvivors))
+			g.i64(int64(p.DeleteSurvivors))
+		}
+		out["fig2/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunFig3(Fig3Config{Seed: 42, Clients: []int{1, 16, 64, 192}, MsgSize: 512, OpsEach: 25})
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.AddOps)
+			g.f64(p.PeekOps)
+			g.f64(p.ReceiveOps)
+		}
+		out["fig3/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunTCP(TCPConfig{Seed: 42, LatencySamples: 500, BandwidthPairs: 40, TransfersPer: 2})
+		for _, v := range r.LatencyMS.Values() {
+			g.f64(v)
+		}
+		for _, v := range r.BandwidthMBps.Values() {
+			g.f64(v)
+		}
+		out["tcp/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunReplication(ReplicationConfig{Seed: 42, Clients: 64, BlobMB: 32, Replicas: []int{1, 4}})
+		for _, p := range r.Points {
+			g.i64(int64(p.Replicas))
+			g.f64(p.PerClientMBps)
+			g.f64(p.AggregateMBps)
+			g.f64(p.SpeedupVsOne)
+			g.i64(int64(p.PerBlobClients))
+		}
+		out["replication/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunTable1(Table1Config{Seed: 42, Runs: 16})
+		// Hash a fixed cell list rather than map iteration order.
+		for _, role := range []fabric.Role{fabric.Worker, fabric.Web} {
+			for _, size := range []fabric.Size{fabric.Small, fabric.Medium, fabric.Large, fabric.ExtraLarge} {
+				for _, phase := range []string{"Create", "Run", "Add", "Suspend", "Delete"} {
+					s := r.Cell(role, size, phase)
+					g.i64(int64(s.N()))
+					g.f64(s.Mean())
+					g.f64(s.Std())
+				}
+			}
+		}
+		for _, v := range r.FirstReadyWorkerSmall.Values() {
+			g.f64(v)
+		}
+		for _, v := range r.FirstReadyWebSmall.Values() {
+			g.f64(v)
+		}
+		g.i64(int64(r.SuccessRuns))
+		g.i64(int64(r.FailedRuns))
+		out["table1/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunPropFilter(PropFilterConfig{Seed: 42, Entities: 60000, Clients: []int{1, 32}})
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.i64(int64(p.Queries))
+			g.i64(int64(p.Timeouts))
+			g.f64(p.MeanLatency)
+		}
+		out["propfilter/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunQueueDepth(42, 5000, 50000)
+		g.f64(r.SmallRate)
+		g.f64(r.LargeRate)
+		out["queuedepth/seed42"] = g.sum()
+	}
+	{
+		g := newGoldenHasher()
+		r := RunSQLCompare(SQLCompareConfig{Seed: 42, Clients: []int{1, 64}, OpsEach: 25})
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.SQLInsertOps)
+			g.f64(p.SQLSelectOps)
+			g.f64(p.TableInsertOps)
+			g.f64(p.TableQueryOps)
+			g.i64(int64(p.ThrottledOpens))
+			g.i64(int64(p.ConnectedOpens))
+		}
+		out["sqlcompare/seed42"] = g.sum()
+	}
+	return out
+}
+
+func TestTraceGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace goldens are slow")
+	}
+	got := traceHashes()
+	if os.Getenv("GOLDEN_PRINT") != "" {
+		for _, k := range sortedKeys(got) {
+			fmt.Printf("\t%q: %#016x,\n", k, got[k])
+		}
+	}
+	for _, k := range sortedKeys(got) {
+		want, ok := goldenTraces[k]
+		if !ok {
+			t.Errorf("no golden recorded for %s (got %#016x)", k, got[k])
+			continue
+		}
+		if got[k] != want {
+			t.Errorf("trace %s = %#016x, want %#016x (simulation no longer bit-identical)", k, got[k], want)
+		}
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -10,6 +10,28 @@
 // service bandwidth that grows sub-linearly and eventually peaks as client
 // count rises, without being able to attribute the loss to any internal
 // component (Section 3.1).
+//
+// # Allocation fast path
+//
+// The closed-loop sweeps of Sections 3.1–3.3 churn hundreds of concurrent
+// flows through one fabric, and every arrival or completion triggers a
+// reallocation, so this is the simulator's hottest path. The solver is
+// incremental: per-link state lives on the Link itself (stamped with a pass
+// epoch instead of rebuilt in a map), links are grouped into connected
+// components with a union-find pass, and only the components whose flow set
+// changed since the last solve are re-run — flows in untouched components
+// keep their rates and their scheduled completion events. Completion events
+// are only re-created when the predicted completion time actually moved, and
+// retired events are recycled through the kernel's event pool.
+//
+// The fast path is bit-exact with the from-scratch progressive-filling
+// solver: components never interact (a flow's rate depends only on links it
+// can reach through shared flows), flows are scanned in arrival order so
+// tie-breaking between equally-loaded links is unchanged, and kept events
+// fire at exactly the time a recomputation would have produced. The
+// property tests cross-check incremental against from-scratch allocations on
+// random churn sequences, and internal/core's trace goldens pin whole
+// experiment runs to the bit.
 package netsim
 
 import (
@@ -46,6 +68,16 @@ type Link struct {
 	capFn func(nflows int) Bandwidth
 
 	nflows int // active flows crossing this link
+
+	// Solver scratch, owned by the fabric. epoch-stamped fields are valid
+	// only for the reallocation pass whose epoch matches, which is what lets
+	// the solver skip rebuilding per-link state in a map on every call.
+	epoch    uint64  // pass this link was last collected in
+	capEpoch uint64  // pass capRem was last initialised in
+	comp     int     // union-find node id within the epoch pass
+	unfix    int     // flows crossing this link not yet fixed by the solver
+	capRem   float64 // capacity not yet claimed by fixed flows
+	dirty    bool    // flow set changed since the last solve
 }
 
 // Name returns the link name.
@@ -59,7 +91,10 @@ func (l *Link) Flows() int { return l.nflows }
 
 // SetCapacityFn installs a concurrency-dependent effective capacity. When
 // set, it overrides the nominal capacity whenever at least one flow is
-// active. Effective capacity must be positive for every n ≥ 1.
+// active. Effective capacity must be positive for every n ≥ 1; the solver
+// validates this at allocation time and panics with the link name on a
+// curve that dips to zero or below, since such a link would otherwise stall
+// every flow crossing it forever.
 func (l *Link) SetCapacityFn(fn func(nflows int) Bandwidth) { l.capFn = fn }
 
 // effectiveCap returns the capacity available to n concurrent flows.
@@ -79,6 +114,8 @@ type Flow struct {
 	completed bool
 	done      sim.Signal
 	complete  *sim.Event
+	onFire    func() // cached completion callback (one closure per flow)
+	index     int    // position in Fabric.flows; -1 once removed
 }
 
 // Rate returns the flow's current max-min fair rate in bytes/sec.
@@ -92,6 +129,15 @@ func (f *Flow) Remaining() float64 { return f.remaining }
 type Fabric struct {
 	eng   *sim.Engine
 	flows []*Flow
+
+	// Incremental-solver state: links whose flow set changed since the last
+	// solve, plus reusable scratch buffers so a reallocation allocates
+	// nothing in steady state.
+	epoch      uint64
+	dirtyLinks []*Link
+	ufParent   []int
+	compDirty  []bool
+	unfixed    []*Flow
 }
 
 // NewFabric creates an empty network bound to the engine.
@@ -138,14 +184,23 @@ func (f *Fabric) StartFlow(size int64, path ...*Link) *Flow {
 		panic("netsim: flow with empty path")
 	}
 	fl := &Flow{path: path, remaining: float64(size), updated: f.eng.Now()}
+	fl.onFire = func() { f.onComplete(fl) }
 	f.settle()
+	fl.index = len(f.flows)
 	f.flows = append(f.flows, fl)
 	for _, l := range path {
 		l.nflows++
+		f.markDirty(l)
 	}
 	f.reallocate()
 	return fl
 }
+
+// Abandon withdraws an incomplete flow started with StartFlow: the flow is
+// removed, its done signal never fires, and its bandwidth is redistributed.
+// Abandoning a completed (or already abandoned) flow is a no-op. Transfer
+// callers never need this — a killed sender abandons implicitly.
+func (f *Fabric) Abandon(fl *Flow) { f.abandon(fl) }
 
 // abandon withdraws an incomplete flow (killed sender).
 func (f *Fabric) abandon(fl *Flow) {
@@ -158,20 +213,42 @@ func (f *Fabric) abandon(fl *Flow) {
 }
 
 func (f *Fabric) remove(fl *Flow) {
+	if fl.index < 0 {
+		return
+	}
 	fl.completed = true
 	if fl.complete != nil {
 		f.eng.Cancel(fl.complete)
+		f.eng.Recycle(fl.complete)
 		fl.complete = nil
 	}
-	for i, x := range f.flows {
-		if x == fl {
-			f.flows = append(f.flows[:i], f.flows[i+1:]...)
-			break
-		}
-	}
+	// O(1) swap-delete: the flow knows its own slot.
+	i, last := fl.index, len(f.flows)-1
+	f.flows[i] = f.flows[last]
+	f.flows[i].index = i
+	f.flows[last] = nil
+	f.flows = f.flows[:last]
+	fl.index = -1
 	for _, l := range fl.path {
 		l.nflows--
+		f.markDirty(l)
 	}
+}
+
+// markDirty records that a link's flow set (and hence its effective
+// capacity) changed, so the component containing it must be re-solved.
+func (f *Fabric) markDirty(l *Link) {
+	if !l.dirty {
+		l.dirty = true
+		f.dirtyLinks = append(f.dirtyLinks, l)
+	}
+}
+
+func (f *Fabric) clearDirty() {
+	for _, l := range f.dirtyLinks {
+		l.dirty = false
+	}
+	f.dirtyLinks = f.dirtyLinks[:0]
 }
 
 // settle credits every active flow with the bytes moved since the last rate
@@ -190,128 +267,224 @@ func (f *Fabric) settle() {
 	}
 }
 
-// reallocate computes the max-min fair rates by progressive filling and
-// reschedules every flow's completion event.
+// reallocate brings rates and completion events up to date after a change.
+// Rate recomputation runs only when some link's flow set actually changed;
+// the stale-prediction path (a completion event firing at the same instant
+// rates moved) needs only a reschedule, because an unchanged flow set
+// re-solves to bit-identical rates.
 func (f *Fabric) reallocate() {
 	if len(f.flows) == 0 {
+		f.clearDirty()
 		return
 	}
-	// Collect the links in use.
-	type linkState struct {
-		link   *Link
-		capRem float64
-		unfix  int
+	if len(f.dirtyLinks) > 0 {
+		f.solve()
+		f.clearDirty()
 	}
-	states := make(map[*Link]*linkState)
+	f.reschedule()
+}
+
+// solve recomputes max-min fair rates by progressive filling for every flow
+// whose connected component contains a dirty link. Components are computed
+// fresh each pass (links only carry epoch-stamped scratch), but flows of
+// clean components are never scanned by the filling loop and keep their
+// rates: allocations in one component are independent of every other, so
+// skipping them is exact, not an approximation.
+func (f *Fabric) solve() {
+	f.epoch++
+	// Pass 1: stamp links with this epoch, count crossing flows, and union
+	// each flow's path links into one component.
+	f.ufParent = f.ufParent[:0]
 	for _, fl := range f.flows {
+		first := fl.path[0]
 		for _, l := range fl.path {
-			st, ok := states[l]
-			if !ok {
-				st = &linkState{link: l, capRem: float64(l.effectiveCap(l.nflows))}
-				states[l] = st
+			if l.epoch != f.epoch {
+				l.epoch = f.epoch
+				l.unfix = 0
+				l.comp = len(f.ufParent)
+				f.ufParent = append(f.ufParent, l.comp)
 			}
-			st.unfix++
+			l.unfix++
+			if l != first {
+				f.union(first.comp, l.comp)
+			}
 		}
 	}
-	fixed := make(map[*Flow]bool, len(f.flows))
-	for len(fixed) < len(f.flows) {
-		// Find the bottleneck: the link whose fair share for its unfixed
-		// flows is smallest. Iterate flows (deterministic order) rather than
-		// the map to pick ties stably.
-		var bottleneck *linkState
-		share := math.Inf(1)
-		for _, fl := range f.flows {
-			if fixed[fl] {
+	// Pass 2: mark components containing a dirty link. Dirty links no
+	// longer crossed by any flow (a departed flow's private segment) carry a
+	// stale epoch and drop out here.
+	if cap(f.compDirty) < len(f.ufParent) {
+		f.compDirty = make([]bool, len(f.ufParent))
+	}
+	f.compDirty = f.compDirty[:len(f.ufParent)]
+	for i := range f.compDirty {
+		f.compDirty[i] = false
+	}
+	for _, l := range f.dirtyLinks {
+		if l.epoch == f.epoch {
+			f.compDirty[f.find(l.comp)] = true
+		}
+	}
+	// Pass 3: gather the flows of dirty components — in arrival order, which
+	// is what keeps bottleneck tie-breaking identical to the from-scratch
+	// solver — and initialise remaining capacity on the links they cross.
+	f.unfixed = f.unfixed[:0]
+	for _, fl := range f.flows {
+		if !f.compDirty[f.find(fl.path[0].comp)] {
+			continue
+		}
+		f.unfixed = append(f.unfixed, fl)
+		for _, l := range fl.path {
+			if l.capEpoch == f.epoch {
 				continue
 			}
+			l.capEpoch = f.epoch
+			c := float64(l.effectiveCap(l.nflows))
+			if !(c > 0) {
+				panic(fmt.Sprintf(
+					"netsim: link %q effective capacity %v with %d flows; capacity functions must be positive for every n ≥ 1",
+					l.name, Bandwidth(c), l.nflows))
+			}
+			l.capRem = c
+		}
+	}
+	// Pass 4: progressive filling. Each round, the bottleneck is the link
+	// whose fair share for its unfixed flows is smallest — scanned in flow
+	// arrival order (not map order) so ties resolve stably — and every
+	// unfixed flow crossing it is fixed at that share.
+	unfixed := f.unfixed
+	for len(unfixed) > 0 {
+		var bottleneck *Link
+		share := math.Inf(1)
+		for _, fl := range unfixed {
 			for _, l := range fl.path {
-				st := states[l]
-				if st.unfix == 0 {
+				if l.unfix == 0 {
 					continue
 				}
-				s := st.capRem / float64(st.unfix)
+				s := l.capRem / float64(l.unfix)
 				if s < share {
 					share = s
-					bottleneck = st
+					bottleneck = l
 				}
 			}
 		}
 		if bottleneck == nil {
 			// No constraining link (cannot happen with non-empty paths).
-			for _, fl := range f.flows {
-				if !fixed[fl] {
-					fl.rate = math.Inf(1)
-					fixed[fl] = true
-				}
+			for _, fl := range unfixed {
+				fl.rate = math.Inf(1)
 			}
 			break
 		}
 		if share < 0 {
 			share = 0
 		}
-		for _, fl := range f.flows {
-			if fixed[fl] {
-				continue
-			}
+		n := 0
+		for _, fl := range unfixed {
 			onBottleneck := false
 			for _, l := range fl.path {
-				if states[l] == bottleneck {
+				if l == bottleneck {
 					onBottleneck = true
 					break
 				}
 			}
 			if !onBottleneck {
+				unfixed[n] = fl
+				n++
 				continue
 			}
 			fl.rate = share
-			fixed[fl] = true
 			for _, l := range fl.path {
-				st := states[l]
-				st.capRem -= share
-				if st.capRem < 0 {
-					st.capRem = 0
+				l.capRem -= share
+				if l.capRem < 0 {
+					l.capRem = 0
 				}
-				st.unfix--
+				l.unfix--
 			}
 		}
+		unfixed = unfixed[:n]
 	}
-	f.reschedule()
 }
 
-// reschedule cancels and re-creates each flow's completion event from its
-// current remaining bytes and rate.
+// find returns the union-find root of scratch node x.
+func (f *Fabric) find(x int) int {
+	for f.ufParent[x] != x {
+		f.ufParent[x] = f.ufParent[f.ufParent[x]] // path halving
+		x = f.ufParent[x]
+	}
+	return x
+}
+
+func (f *Fabric) union(a, b int) {
+	ra, rb := f.find(a), f.find(b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		f.ufParent[rb] = ra
+	} else {
+		f.ufParent[ra] = rb
+	}
+}
+
+// reschedule brings each flow's completion event in line with its current
+// remaining bytes and rate. An event is re-created only when the predicted
+// completion time actually moved; an unchanged prediction keeps the
+// already-scheduled event, and retired events return to the kernel pool.
 func (f *Fabric) reschedule() {
 	now := f.eng.Now()
 	for _, fl := range f.flows {
-		fl := fl
-		if fl.complete != nil {
-			f.eng.Cancel(fl.complete)
-			fl.complete = nil
-		}
 		if fl.rate <= 0 {
-			continue // stalled; a future reallocate will revive it
+			// Stalled; a future reallocate will revive it.
+			if fl.complete != nil {
+				f.eng.Cancel(fl.complete)
+				f.eng.Recycle(fl.complete)
+				fl.complete = nil
+			}
+			continue
 		}
 		var at time.Duration
 		if math.IsInf(fl.rate, 1) || fl.remaining <= 0.5 {
 			at = now
 		} else {
 			at = now + time.Duration(fl.remaining/fl.rate*float64(time.Second))
-			if at < now {
-				at = now
+			if at <= now {
+				// The prediction rounded down to a zero (or negative)
+				// duration while bytes remain outstanding. Scheduling at
+				// `now` would fire, settle zero elapsed time, and reallocate
+				// right back here — a same-instant ping-pong that never
+				// drains the flow. One nanosecond is below any reportable
+				// timescale and guarantees progress.
+				at = now + 1
 			}
 		}
-		fl.complete = f.eng.Schedule(at, func() { f.onComplete(fl) })
+		if fl.complete != nil {
+			if fl.complete.Time() == at {
+				continue
+			}
+			f.eng.Cancel(fl.complete)
+			f.eng.Recycle(fl.complete)
+		}
+		fl.complete = f.eng.Schedule(at, fl.onFire)
 	}
 }
 
 func (f *Fabric) onComplete(fl *Flow) {
+	ev := fl.complete
 	fl.complete = nil
+	if ev != nil {
+		f.eng.Recycle(ev)
+	}
 	f.settle()
 	if fl.remaining > 0.5 {
-		// Prediction went stale (rates changed at this same instant);
-		// reallocate will reschedule.
-		f.reallocate()
-		return
+		if !math.IsInf(fl.rate, 1) {
+			// Prediction went stale (rates changed at this same instant);
+			// reallocate will reschedule.
+			f.reallocate()
+			return
+		}
+		// An unconstrained flow delivers instantly; zero elapsed time moved
+		// no bytes in settle, so finish it by hand rather than ping-pong.
+		fl.remaining = 0
 	}
 	f.remove(fl)
 	fl.done.Fire()

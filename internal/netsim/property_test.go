@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"fmt"
+	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -154,6 +156,225 @@ func TestPropertyConservationUnderChurn(t *testing.T) {
 		// All bytes crossed one link: elapsed ≥ bytes/capacity.
 		minTime := float64(totalBytes) / float64(trunk.Capacity())
 		return last.Seconds() >= minTime*(1-1e-9)-0.011
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scratchRates recomputes the max-min fair allocation from scratch with an
+// independent map-based progressive-filling solver — the seed implementation
+// the incremental fast path replaced — without touching any fabric state.
+// It is the oracle for the incremental-consistency properties below.
+func scratchRates(f *Fabric) map[*Flow]float64 {
+	type linkState struct {
+		capRem float64
+		unfix  int
+	}
+	ls := map[*Link]*linkState{}
+	for _, fl := range f.flows {
+		for _, l := range fl.path {
+			st := ls[l]
+			if st == nil {
+				st = &linkState{capRem: float64(l.effectiveCap(l.nflows))}
+				ls[l] = st
+			}
+			st.unfix++
+		}
+	}
+	rates := map[*Flow]float64{}
+	unfixed := map[*Flow]bool{}
+	for _, fl := range f.flows {
+		unfixed[fl] = true
+	}
+	for len(unfixed) > 0 {
+		var bottleneck *Link
+		share := math.Inf(1)
+		for _, fl := range f.flows {
+			if !unfixed[fl] {
+				continue
+			}
+			for _, l := range fl.path {
+				st := ls[l]
+				if st.unfix == 0 {
+					continue
+				}
+				if s := st.capRem / float64(st.unfix); s < share {
+					share = s
+					bottleneck = l
+				}
+			}
+		}
+		if bottleneck == nil {
+			for fl := range unfixed {
+				rates[fl] = math.Inf(1)
+			}
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		for _, fl := range f.flows {
+			if !unfixed[fl] {
+				continue
+			}
+			on := false
+			for _, l := range fl.path {
+				if l == bottleneck {
+					on = true
+					break
+				}
+			}
+			if !on {
+				continue
+			}
+			rates[fl] = share
+			for _, l := range fl.path {
+				st := ls[l]
+				st.capRem -= share
+				if st.capRem < 0 {
+					st.capRem = 0
+				}
+				st.unfix--
+			}
+			delete(unfixed, fl)
+		}
+	}
+	return rates
+}
+
+// assertMatchesScratch compares every live flow's incremental rate and
+// completion-event time bitwise against the from-scratch oracle.
+func assertMatchesScratch(f *Fabric, now time.Duration) string {
+	want := scratchRates(f)
+	for _, fl := range f.flows {
+		if w := want[fl]; fl.rate != w {
+			return fmt.Sprintf("flow rate %v, from-scratch solver says %v (Δbits)", fl.rate, w)
+		}
+		if fl.rate <= 0 {
+			if fl.complete != nil {
+				return "stalled flow still holds a completion event"
+			}
+			continue
+		}
+		var at time.Duration
+		if math.IsInf(fl.rate, 1) || fl.remaining <= 0.5 {
+			at = now
+		} else {
+			at = now + time.Duration(fl.remaining/fl.rate*float64(time.Second))
+			if at <= now {
+				at = now + 1
+			}
+		}
+		if fl.complete == nil {
+			return "live flow has no completion event"
+		}
+		if got := fl.complete.Time(); got < at {
+			// A kept event may never be earlier than the fresh prediction;
+			// equal is the required case (reschedule recomputes every time).
+			return fmt.Sprintf("completion event at %v, fresh prediction %v", got, at)
+		} else if got != at {
+			return fmt.Sprintf("stale completion event: %v vs predicted %v", got, at)
+		}
+	}
+	return ""
+}
+
+// Property: after every arrival and departure in a random churn sequence at
+// a single instant, the incremental solver's rates and completion times are
+// bit-identical to a from-scratch recomputation.
+func TestPropertyIncrementalMatchesScratchStatic(t *testing.T) {
+	f := func(seed uint64, nLinksRaw, opsRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 271))
+		eng := sim.NewEngine()
+		fab := NewFabric(eng)
+		nLinks := int(nLinksRaw%6) + 1
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = fab.NewLink("l", Bandwidth(1+rng.Float64()*99)*MBps)
+		}
+		var live []*Flow
+		ops := int(opsRaw%40) + 10
+		for op := 0; op < ops; op++ {
+			if len(live) > 0 && rng.IntN(3) == 0 {
+				i := rng.IntN(len(live))
+				fab.abandon(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				pathLen := rng.IntN(3) + 1
+				if pathLen > nLinks {
+					pathLen = nLinks
+				}
+				perm := rng.Perm(nLinks)
+				path := make([]*Link, pathLen)
+				for j := range path {
+					path[j] = links[perm[j]]
+				}
+				live = append(live, fab.StartFlow(int64(1+rng.IntN(1000))*MB, path...))
+			}
+			if msg := assertMatchesScratch(fab, eng.Now()); msg != "" {
+				t.Logf("seed=%d op=%d: %s", seed, op, msg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same consistency holds while virtual time advances, so the
+// check also exercises settle, the event-keep path in reschedule, and
+// component skipping against partially-delivered flows.
+func TestPropertyIncrementalMatchesScratchTimed(t *testing.T) {
+	f := func(seed uint64, nLinksRaw, opsRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 997))
+		eng := sim.NewEngine()
+		fab := NewFabric(eng)
+		nLinks := int(nLinksRaw%5) + 2
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = fab.NewLink("l", Bandwidth(1+rng.Float64()*99)*MBps)
+		}
+		var live []*Flow
+		ops := int(opsRaw%30) + 10
+		for op := 0; op < ops; op++ {
+			// Let the simulation advance; completions prune `live`.
+			eng.RunUntil(eng.Now() + time.Duration(rng.IntN(500))*time.Millisecond)
+			n := 0
+			for _, fl := range live {
+				if !fl.completed {
+					live[n] = fl
+					n++
+				}
+			}
+			live = live[:n]
+			if len(live) > 0 && rng.IntN(3) == 0 {
+				i := rng.IntN(len(live))
+				fab.abandon(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				pathLen := rng.IntN(3) + 1
+				if pathLen > nLinks {
+					pathLen = nLinks
+				}
+				perm := rng.Perm(nLinks)
+				path := make([]*Link, pathLen)
+				for j := range path {
+					path[j] = links[perm[j]]
+				}
+				live = append(live, fab.StartFlow(int64(1+rng.IntN(200))*MB, path...))
+			}
+			if msg := assertMatchesScratch(fab, eng.Now()); msg != "" {
+				t.Logf("seed=%d op=%d t=%v: %s", seed, op, eng.Now(), msg)
+				return false
+			}
+		}
+		eng.Run()
+		return fab.ActiveFlows() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

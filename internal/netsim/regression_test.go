@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"azureobs/internal/sim"
+)
+
+// runBounded steps the engine at most maxEvents times, failing the test if
+// the calendar is still live afterwards. The ping-pong regressions below
+// previously looped forever at a single instant, so the tests must not rely
+// on Run() returning.
+func runBounded(t *testing.T, eng *sim.Engine, maxEvents int) {
+	t.Helper()
+	for i := 0; i < maxEvents; i++ {
+		if !eng.Step() {
+			return
+		}
+	}
+	t.Fatalf("engine still live after %d events at t=%v (zero-duration ping-pong?)", maxEvents, eng.Now())
+}
+
+// Regression: a completion prediction that truncates to a sub-nanosecond
+// residual used to reschedule at the current instant forever. 1001 bytes at
+// 1.7 GB/s predicts completion at 588 ns; settling there leaves 1.4 bytes
+// (> the 0.5-byte done threshold), and the fresh prediction of +0.82 ns
+// truncated back to the same instant — an infinite zero-duration loop.
+func TestSubNanosecondResidualTerminates(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	l := fab.NewLink("fast", Bandwidth(1.7) * GBps)
+	fl := fab.StartFlow(1001, l)
+	runBounded(t, eng, 100)
+	if fab.ActiveFlows() != 0 {
+		t.Fatalf("flow never completed: remaining=%v rate=%v", fl.Remaining(), fl.Rate())
+	}
+	// 1001 bytes / 1.7e9 B/s = 588.8 ns; the 1 ns progress bump may land at
+	// 589 ns but must not drift beyond the next nanosecond.
+	if got := eng.Now(); got < 588 || got > 589 {
+		t.Fatalf("completed at %v, want 588-589ns", got)
+	}
+}
+
+// Regression: a same-instant rate change used to ping-pong. Flows A (1000 B)
+// and B (2001 B) share a 2 GB/s link at 1 GB/s each; A completes at exactly
+// 1000 ns and B's rate doubles. B's refreshed prediction lands at 1500 ns
+// with 1 byte still outstanding there, and the +0.5 ns residual truncated to
+// a zero-duration event at 1500 ns, rescheduling itself forever.
+func TestSameInstantRateChangeTerminates(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	l := fab.NewLink("shared", 2 * GBps)
+	fab.StartFlow(1000, l)
+	fb := fab.StartFlow(2001, l)
+	var doneAt time.Duration = -1
+	eng.Spawn("waitB", func(p *sim.Proc) {
+		fb.done.Wait(p)
+		doneAt = p.Now()
+	})
+	runBounded(t, eng, 100)
+	if fab.ActiveFlows() != 0 {
+		t.Fatalf("flows never drained: %d active", fab.ActiveFlows())
+	}
+	if doneAt != 1501 {
+		t.Fatalf("flow B completed at %v, want 1501ns (1500ns prediction + 1ns residual bump)", doneAt)
+	}
+}
+
+// A capacity curve that dips to zero or below must fail loudly at allocation
+// time, naming the link — previously every flow crossing it just stalled
+// forever with no diagnostic.
+func TestCapacityFnNonPositivePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	l := fab.NewLink("frontend-42", 10*MBps)
+	l.SetCapacityFn(func(n int) Bandwidth {
+		if n >= 2 {
+			return 0 // broken calibration curve
+		}
+		return 10 * MBps
+	})
+	fab.StartFlow(10*MB, l) // n=1: fine
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("zero effective capacity did not panic")
+		}
+		msg, ok := rec.(string)
+		if !ok || !strings.Contains(msg, "frontend-42") {
+			t.Fatalf("panic %v does not name the offending link", rec)
+		}
+	}()
+	fab.StartFlow(10*MB, l) // n=2: capacity 0 → must panic
+}
+
+// A negative capacity curve is just as fatal as a zero one.
+func TestCapacityFnNegativePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	l := fab.NewLink("neg", 10*MBps)
+	l.SetCapacityFn(func(n int) Bandwidth { return Bandwidth(-float64(n)) * MBps })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative effective capacity did not panic")
+		}
+	}()
+	fab.StartFlow(MB, l)
+}
+
+// Completion events survive churn that does not move their firing time: a
+// flow on a private link must keep its scheduled event (same *sim.Event)
+// while unrelated flows come and go.
+func TestUnrelatedChurnKeepsCompletionEvent(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	private := fab.NewLink("private", 10*MBps)
+	other := fab.NewLink("other", 10*MBps)
+	fl := fab.StartFlow(100*MB, private)
+	ev := fl.complete
+	if ev == nil {
+		t.Fatal("no completion event scheduled")
+	}
+	tmp := fab.StartFlow(50*MB, other)
+	fab.abandon(tmp)
+	if fl.complete != ev {
+		t.Fatal("churn on a disjoint component replaced an unchanged flow's completion event")
+	}
+	if got := ev.Time(); got != 10*time.Second {
+		t.Fatalf("completion time %v, want 10s", got)
+	}
+	eng.Run()
+	if fab.ActiveFlows() != 0 {
+		t.Fatalf("flows left: %d", fab.ActiveFlows())
+	}
+}

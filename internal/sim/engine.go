@@ -34,6 +34,7 @@ type Event struct {
 	index    int // heap index; -1 once popped or canceled
 	canceled bool
 	daemon   bool
+	pooled   bool // sitting in the engine's free list (Recycle called)
 }
 
 // Time reports the virtual time at which the event is (or was) scheduled.
@@ -94,6 +95,12 @@ type Engine struct {
 	// pendingPanic carries a panic raised inside a process goroutine back to
 	// the kernel goroutine, so it surfaces from Run() on the caller's stack.
 	pendingPanic *procPanic
+
+	// pool holds recycled Event structs for reuse by the scheduling methods.
+	// High-churn subsystems (netsim reschedules every active flow's
+	// completion on each rate change) return events here via Recycle instead
+	// of leaving one garbage Event per churn event.
+	pool []*Event
 }
 
 type procPanic struct {
@@ -143,7 +150,15 @@ func (e *Engine) schedule(at time.Duration, fn func(), daemon bool) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		*ev = Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	}
 	e.seq++
 	heap.Push(&e.events, ev)
 	if !daemon {
@@ -176,6 +191,27 @@ func (e *Engine) Cancel(ev *Event) {
 			e.foreground--
 		}
 	}
+}
+
+// Recycle returns an event to the engine's free list so a later scheduling
+// call can reuse the allocation. Only the holder of the last reference may
+// recycle, and only once the event can no longer fire: after its callback ran
+// (recycling from inside the callback is fine) or after Cancel. Recycling an
+// event that is still on the calendar, or twice, panics — a stale recycled
+// pointer would silently corrupt whatever event reuses the slot.
+func (e *Engine) Recycle(ev *Event) {
+	if ev == nil {
+		return
+	}
+	if ev.index >= 0 {
+		panic("sim: Recycle of an event still scheduled")
+	}
+	if ev.pooled {
+		panic("sim: Recycle called twice on the same event")
+	}
+	ev.pooled = true
+	ev.fn = nil
+	e.pool = append(e.pool, ev)
 }
 
 // Step fires the next event, advancing the clock. It returns false when the

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecycleReusesAllocation(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.Schedule(time.Second, func() {})
+	eng.Cancel(ev)
+	eng.Recycle(ev)
+	fired := false
+	ev2 := eng.Schedule(2*time.Second, func() { fired = true })
+	if ev2 != ev {
+		t.Fatal("schedule did not reuse the recycled event")
+	}
+	if ev2.Time() != 2*time.Second || ev2.Canceled() {
+		t.Fatalf("recycled event carries stale state: at=%v canceled=%v", ev2.Time(), ev2.Canceled())
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("reused event did not fire")
+	}
+}
+
+func TestRecycleFromInsideCallback(t *testing.T) {
+	eng := NewEngine()
+	var ev *Event
+	ev = eng.Schedule(time.Second, func() { eng.Recycle(ev) })
+	eng.Run()
+	if ev2 := eng.Schedule(2*time.Second, func() {}); ev2 != ev {
+		t.Fatal("event recycled from its own callback was not reused")
+	}
+}
+
+func TestRecycleNilIsNoop(t *testing.T) {
+	NewEngine().Recycle(nil)
+}
+
+func TestRecycleScheduledPanics(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.Schedule(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("recycling a still-scheduled event did not panic")
+		}
+	}()
+	eng.Recycle(ev)
+}
+
+func TestRecycleTwicePanics(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.Schedule(time.Second, func() {})
+	eng.Cancel(ev)
+	eng.Recycle(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double recycle did not panic")
+		}
+	}()
+	eng.Recycle(ev)
+}
+
+func TestRecycledEventsDoNotAlias(t *testing.T) {
+	// A recycled event reused for a different callback must fire the new
+	// callback at the new time, with ordering against fresh events intact.
+	eng := NewEngine()
+	var order []int
+	a := eng.Schedule(time.Second, func() {})
+	eng.Cancel(a)
+	eng.Recycle(a)
+	eng.Schedule(2*time.Second, func() { order = append(order, 1) }) // reuses a
+	eng.Schedule(2*time.Second, func() { order = append(order, 2) }) // fresh
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
