@@ -1,7 +1,7 @@
 # Pre-merge gate: `make check` must pass before any merge. It builds
 # everything, vets, runs the full test suite under the race detector, and
 # smoke-runs every benchmark once so the bench harness can never rot.
-.PHONY: check build vet test bench-smoke bench netbench
+.PHONY: check build vet test bench-smoke bench netbench storagebench
 
 check: build vet test bench-smoke
 
@@ -22,6 +22,9 @@ bench-smoke:
 bench:
 	go test -run '^$$' -bench . -benchmem ./internal/netsim
 
-# Refresh the checked-in performance baseline.
+# Refresh the checked-in performance baselines.
 netbench:
 	go run ./cmd/azbench -run netbench
+
+storagebench:
+	go run ./cmd/azbench -run storagebench

@@ -28,14 +28,14 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "artifact: all|fig1|fig2|fig3|table1|tcp|propfilter|queuedepth|replication|fig2sizes|fig3sizes|netbench")
+		run    = flag.String("run", "all", "artifact: all|fig1|fig2|fig3|table1|tcp|propfilter|queuedepth|replication|fig2sizes|fig3sizes|netbench|storagebench")
 		seed   = flag.Uint64("seed", 42, "root random seed")
 		quick  = flag.Bool("quick", false, "reduced scale for fast runs")
 		entity = flag.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
 		msg    = flag.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
 		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir = flag.String("svg", "", "also write SVG figures into this directory")
-		bench  = flag.String("benchout", "BENCH_netsim.json", "output path for the netbench artifact")
+		bench  = flag.String("benchout", "", "output path for the netbench/storagebench artifact (default BENCH_<suite>.json)")
 	)
 	flag.Parse()
 	if *svgDir != "" {
@@ -98,7 +98,19 @@ func main() {
 		ran = true
 	}
 	if which == "netbench" {
-		runNetBench(*seed, *quick, *bench)
+		out := *bench
+		if out == "" {
+			out = "BENCH_netsim.json"
+		}
+		runNetBench(*seed, *quick, out)
+		ran = true
+	}
+	if which == "storagebench" {
+		out := *bench
+		if out == "" {
+			out = "BENCH_storage.json"
+		}
+		runStorageBench(*seed, *quick, out)
 		ran = true
 	}
 	if which == "fig2sizes" {

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/blobsvc"
+	"azureobs/internal/storage/reqpath"
+	"azureobs/internal/storage/sqlsvc"
+	"azureobs/internal/storage/storerr"
+	"azureobs/internal/storage/tablesvc"
+)
+
+// The storagebench artifact measures the reqpath pipeline path — the host
+// cost of driving closed-loop storage ops through admission, station,
+// transfer and hook stages — and writes BENCH_storage.json so the pipeline's
+// overhead can be tracked across PRs.
+//
+// baseNsPerOp holds the same measurements captured with this harness on the
+// reference machine when the pipeline was introduced; they ride along in the
+// JSON so every later capture carries its own point of comparison.
+var baseNsPerOp = map[string]float64{
+	"blob.Get":                 1918,
+	"blob.Get+faults":          1762,
+	"table.Insert":             2852,
+	"table.Query":              1003,
+	"queue.Add+Receive+Delete": 3312,
+	"sql.Select":               896,
+}
+
+type storagePoint struct {
+	Service   string  `json:"service"`
+	Op        string  `json:"op"`
+	Ops       int     `json:"ops"`
+	NsPerOp   float64 `json:"host_ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	SimMeanMS float64 `json:"sim_mean_ms"`
+	ErrRate   float64 `json:"err_rate"`
+	BaseNsOp  float64 `json:"base_ns_per_op,omitempty"`
+	Speedup   float64 `json:"speedup_vs_base,omitempty"`
+}
+
+type storageBenchReport struct {
+	Suite      string         `json:"suite"`
+	CapturedAt string         `json:"captured_at"`
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	Note       string         `json:"note"`
+	Points     []storagePoint `json:"points"`
+}
+
+// storageOp is one closed-loop measurement: a fresh cloud, n sequential
+// requests from a single client proc, wall-clocked around the engine run.
+type storageOp struct {
+	service string
+	op      string // the Cloud.Ops key the sim-latency column reads
+	label   string // report row name (op plus any variant suffix)
+	faults  reqpath.FaultConfig
+	setup   func(c *azure.Cloud)
+	body    func(c *azure.Cloud, p *sim.Proc, i int) error
+}
+
+// blobGet holds one session across iterations: a session's fault and
+// latency streams are forked deterministically from its id, so a fresh
+// session per request would replay the same draws every time.
+func blobGet(faults reqpath.FaultConfig, label string) storageOp {
+	var sess *blobsvc.Session
+	return storageOp{
+		service: "blob", op: "blob.Get", label: label, faults: faults,
+		setup: func(c *azure.Cloud) {
+			c.Blob.Seed("d", "b", 1<<20)
+			sess = c.Blob.NewSession(0)
+		},
+		body: func(c *azure.Cloud, p *sim.Proc, i int) error {
+			_, err := sess.Get(p, "d", "b")
+			return err
+		},
+	}
+}
+
+func storageOps() []storageOp {
+	return []storageOp{
+		blobGet(reqpath.FaultConfig{}, "blob.Get"),
+		blobGet(reqpath.FaultConfig{ConnFailProb: 0.05, ServerBusyProb: 0.02}, "blob.Get+faults"),
+		{
+			service: "table", op: "table.Insert", label: "table.Insert",
+			setup: func(c *azure.Cloud) { c.Table.CreateTable("t") },
+			body: func(c *azure.Cloud, p *sim.Proc, i int) error {
+				return c.Table.Insert(p, "t", tablesvc.PaddedEntity("pk", fmt.Sprintf("rk-%08d", i), 1024))
+			},
+		},
+		{
+			service: "table", op: "table.Query", label: "table.Query",
+			setup: func(c *azure.Cloud) {
+				c.Table.CreateTable("t")
+				c.Table.Backdoor("t", tablesvc.PaddedEntity("pk", "rk", 1024))
+			},
+			body: func(c *azure.Cloud, p *sim.Proc, i int) error {
+				_, err := c.Table.Get(p, "t", "pk", "rk")
+				return err
+			},
+		},
+		{
+			service: "queue", op: "queue.Add", label: "queue.Add+Receive+Delete",
+			setup: func(c *azure.Cloud) { c.Queue.CreateQueue("q") },
+			body: func(c *azure.Cloud, p *sim.Proc, i int) error {
+				q, _ := c.Queue.GetQueue("q")
+				if _, err := c.Queue.Add(p, q, "m", 512); err != nil {
+					return err
+				}
+				_, rcpt, ok, err := c.Queue.Receive(p, q, time.Hour)
+				if err != nil || !ok {
+					return err
+				}
+				return c.Queue.Delete(p, q, rcpt)
+			},
+		},
+		sqlSelect(),
+	}
+}
+
+// sqlSelect reuses one connection across iterations (the per-op row should
+// price a query, not a handshake), opening it lazily on the first call.
+func sqlSelect() storageOp {
+	var conn *sqlsvc.Conn
+	return storageOp{
+		service: "sql", op: "sql.Select", label: "sql.Select",
+		setup: func(c *azure.Cloud) {
+			conn = nil
+			c.SQL.CreateDatabase("db", 0)
+			c.SQL.Seed("db", "t", "k", 1024)
+		},
+		body: func(c *azure.Cloud, p *sim.Proc, i int) error {
+			if conn == nil {
+				var err error
+				if conn, err = c.SQL.Open(p, "db", 0); err != nil {
+					conn = nil
+					return err
+				}
+			}
+			_, err := conn.Select(p, "t", "k")
+			return err
+		},
+	}
+}
+
+// measureStorageOp runs n closed-loop iterations of op and reports host
+// ns/op, the simulated mean latency seen by the pipeline hooks, and the
+// fraction of requests that failed (all storerr — under fault injection
+// that is the injected rate).
+func measureStorageOp(op storageOp, seed uint64, n int) storagePoint {
+	c := azure.NewCloud(azure.Config{Seed: seed, Faults: op.faults})
+	op.setup(c)
+	errs := 0
+	c.Engine.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if err := op.body(c, p, i); err != nil {
+				if !storerr.IsRetryable(err) {
+					panic(err)
+				}
+				errs++
+			}
+		}
+	})
+	start := time.Now()
+	c.Engine.Run()
+	ns := float64(time.Since(start)) / float64(n)
+	pt := storagePoint{
+		Service:   op.service,
+		Op:        op.label,
+		Ops:       n,
+		NsPerOp:   ns,
+		OpsPerSec: 1e9 / ns,
+		ErrRate:   float64(errs) / float64(n),
+	}
+	if st := c.Ops.Get(op.op); st != nil {
+		pt.SimMeanMS = st.Latency.Mean() * 1e3
+	}
+	if base := baseNsPerOp[op.label]; base > 0 {
+		pt.BaseNsOp = base
+		pt.Speedup = base / ns
+	}
+	return pt
+}
+
+func runStorageBench(seed uint64, quick bool, out string) {
+	rep := storageBenchReport{
+		Suite:      "storage-reqpath",
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Note: "closed-loop storage ops through the reqpath pipeline (admission faults, " +
+			"request latency, station contention, transfer, hooks) on a fresh cloud per row; " +
+			"host_ns_per_op is wall time per simulated request, sim_mean_ms the latency the " +
+			"pipeline hooks observed. base_* fields were captured with this harness when the " +
+			"pipeline was introduced.",
+	}
+	n := 20000
+	if quick {
+		n = 2000
+	}
+	for _, op := range storageOps() {
+		pt := measureStorageOp(op, seed, n)
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("storagebench: %-26s %9.0f ns/op  sim %6.2f ms  err %.3f\n",
+			pt.Op, pt.NsPerOp, pt.SimMeanMS, pt.ErrRate)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("storagebench: wrote %s\n", out)
+}

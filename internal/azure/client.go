@@ -4,10 +4,12 @@ import (
 	"time"
 
 	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
 	"azureobs/internal/sim"
 	"azureobs/internal/simrand"
 	"azureobs/internal/storage/blobsvc"
 	"azureobs/internal/storage/queuesvc"
+	"azureobs/internal/storage/storerr"
 	"azureobs/internal/storage/tablesvc"
 )
 
@@ -20,6 +22,10 @@ type Client struct {
 	blob  *blobsvc.Session
 	rng   *simrand.RNG
 
+	// stats tallies every operation issued through this client — the
+	// client-side error accounting the ModisAzure logs were built from.
+	stats *metrics.OpStats
+
 	// onOp, when set, observes every completed storage operation — the
 	// client-side instrumentation hook applications use to build the
 	// Section 6.3 monitoring infrastructure.
@@ -30,12 +36,18 @@ type Client struct {
 // with its name, simulated latency and outcome. Pass nil to remove it.
 func (cl *Client) SetRecorder(fn func(op string, d time.Duration, err error)) { cl.onOp = fn }
 
-// observe wraps an operation with latency recording.
+// Ops returns the client's per-operation latency/error tallies.
+func (cl *Client) Ops() *metrics.OpStats { return cl.stats }
+
+// observe wraps an operation with latency and error accounting. Every
+// client API method goes through it, so the tallies cover the full surface.
 func observe[T any](cl *Client, p *sim.Proc, op string, fn func() (T, error)) (T, error) {
 	start := p.Now()
 	v, err := fn()
+	d := p.Now() - start
+	cl.stats.Record(op, d, string(storerr.CodeOf(err)))
 	if cl.onOp != nil {
-		cl.onOp(op, p.Now()-start, err)
+		cl.onOp(op, d, err)
 	}
 	return v, err
 }
@@ -69,12 +81,17 @@ func (cl *Client) PutBlob(p *sim.Proc, container, name string, size int64, overw
 
 // BlobExists checks existence.
 func (cl *Client) BlobExists(p *sim.Proc, container, name string) (bool, error) {
-	return cl.blob.Exists(p, container, name)
+	return observe(cl, p, "blob.Exists", func() (bool, error) {
+		return cl.blob.Exists(p, container, name)
+	})
 }
 
 // DeleteBlob removes a blob.
 func (cl *Client) DeleteBlob(p *sim.Proc, container, name string) error {
-	return cl.blob.Delete(p, container, name)
+	_, err := observe(cl, p, "blob.Delete", func() (struct{}, error) {
+		return struct{}{}, cl.blob.Delete(p, container, name)
+	})
+	return err
 }
 
 // --- Table API ---
@@ -99,18 +116,26 @@ func (cl *Client) GetEntity(p *sim.Proc, table, pk, rk string) (*tablesvc.Entity
 
 // UpdateEntity replaces an entity unconditionally.
 func (cl *Client) UpdateEntity(p *sim.Proc, table string, e *tablesvc.Entity) error {
-	return cl.cloud.Table.Update(p, table, e)
+	_, err := observe(cl, p, "table.Update", func() (struct{}, error) {
+		return struct{}{}, cl.cloud.Table.Update(p, table, e)
+	})
+	return err
 }
 
 // DeleteEntity removes an entity.
 func (cl *Client) DeleteEntity(p *sim.Proc, table, pk, rk string) error {
-	return cl.cloud.Table.Delete(p, table, pk, rk)
+	_, err := observe(cl, p, "table.Delete", func() (struct{}, error) {
+		return struct{}{}, cl.cloud.Table.Delete(p, table, pk, rk)
+	})
+	return err
 }
 
 // QueryEntities scans a partition with a property filter (the non-indexed
 // path the paper warns about).
 func (cl *Client) QueryEntities(p *sim.Proc, table, pk string, pred func(*tablesvc.Entity) bool) ([]*tablesvc.Entity, error) {
-	return cl.cloud.Table.QueryFilter(p, table, pk, pred)
+	return observe(cl, p, "table.QueryFilter", func() ([]*tablesvc.Entity, error) {
+		return cl.cloud.Table.QueryFilter(p, table, pk, pred)
+	})
 }
 
 // --- Queue API ---
@@ -129,18 +154,38 @@ func (cl *Client) AddMessage(p *sim.Proc, q *queuesvc.Queue, body string, size i
 
 // PeekMessage returns the first visible message without state change.
 func (cl *Client) PeekMessage(p *sim.Proc, q *queuesvc.Queue) (*queuesvc.Message, bool, error) {
-	return cl.cloud.Queue.Peek(p, q)
+	type peek struct {
+		m  *queuesvc.Message
+		ok bool
+	}
+	v, err := observe(cl, p, "queue.Peek", func() (peek, error) {
+		m, ok, err := cl.cloud.Queue.Peek(p, q)
+		return peek{m, ok}, err
+	})
+	return v.m, v.ok, err
 }
 
 // ReceiveMessage pops the first visible message, hiding it for the
 // visibility window.
 func (cl *Client) ReceiveMessage(p *sim.Proc, q *queuesvc.Queue, visibility time.Duration) (*queuesvc.Message, queuesvc.Receipt, bool, error) {
-	return cl.cloud.Queue.Receive(p, q, visibility)
+	type recv struct {
+		m    *queuesvc.Message
+		rcpt queuesvc.Receipt
+		ok   bool
+	}
+	v, err := observe(cl, p, "queue.Receive", func() (recv, error) {
+		m, rcpt, ok, err := cl.cloud.Queue.Receive(p, q, visibility)
+		return recv{m, rcpt, ok}, err
+	})
+	return v.m, v.rcpt, v.ok, err
 }
 
 // DeleteMessage removes a received message by receipt.
 func (cl *Client) DeleteMessage(p *sim.Proc, q *queuesvc.Queue, r queuesvc.Receipt) error {
-	return cl.cloud.Queue.Delete(p, q, r)
+	_, err := observe(cl, p, "queue.Delete", func() (struct{}, error) {
+		return struct{}{}, cl.cloud.Queue.Delete(p, q, r)
+	})
+	return err
 }
 
 // --- Inter-VM TCP (internal endpoints, Section 4.2) ---

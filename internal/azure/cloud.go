@@ -10,11 +10,14 @@ package azure
 
 import (
 	"azureobs/internal/fabric"
+	"azureobs/internal/metrics"
 	"azureobs/internal/sim"
 	"azureobs/internal/simrand"
 	"azureobs/internal/storage/blobsvc"
 	"azureobs/internal/storage/queuesvc"
+	"azureobs/internal/storage/reqpath"
 	"azureobs/internal/storage/sqlsvc"
+	"azureobs/internal/storage/storerr"
 	"azureobs/internal/storage/tablesvc"
 )
 
@@ -26,6 +29,34 @@ type Config struct {
 	Table  tablesvc.Config
 	Queue  queuesvc.Config
 	SQL    sqlsvc.Config
+
+	// Faults is the uniform fault-injection plan: each probability fills the
+	// matching per-service field that was left zero, so one config line
+	// injects the same transient-fault mix into every storage service (the
+	// ModisAzure campaign's knob). A per-service probability set explicitly
+	// wins. Read/corrupt faults apply to the blob payload path only.
+	Faults reqpath.FaultConfig
+}
+
+// applyFaults overlays the uniform fault plan onto zero-valued per-service
+// probabilities.
+func (cfg *Config) applyFaults() {
+	f := cfg.Faults
+	fill := func(dst *float64, v float64) {
+		if *dst == 0 {
+			*dst = v
+		}
+	}
+	fill(&cfg.Blob.ConnFailProb, f.ConnFailProb)
+	fill(&cfg.Blob.ServerBusyProb, f.ServerBusyProb)
+	fill(&cfg.Blob.ReadFailProb, f.ReadFailProb)
+	fill(&cfg.Blob.CorruptReadProb, f.CorruptReadProb)
+	fill(&cfg.Table.ConnFailProb, f.ConnFailProb)
+	fill(&cfg.Table.ServerBusyProb, f.ServerBusyProb)
+	fill(&cfg.Queue.ConnFailProb, f.ConnFailProb)
+	fill(&cfg.Queue.ServerBusyProb, f.ServerBusyProb)
+	fill(&cfg.SQL.ConnFailProb, f.ConnFailProb)
+	fill(&cfg.SQL.ServerBusyProb, f.ServerBusyProb)
 }
 
 // Cloud is one simulated Windows Azure region: compute fabric plus storage
@@ -38,6 +69,11 @@ type Cloud struct {
 	Table      *tablesvc.Service
 	Queue      *queuesvc.Service
 	SQL        *sqlsvc.Service
+
+	// Ops aggregates every request served by any storage service, fed by a
+	// pipeline hook on all four — the service-side half of the Section 6.3
+	// monitoring story.
+	Ops *metrics.OpStats
 
 	rng *simrand.RNG
 }
@@ -53,6 +89,7 @@ func NewCloudOn(eng *sim.Engine, cfg Config) *Cloud {
 	if cfg.Fabric.Hosts == 0 {
 		cfg.Fabric = fabric.DefaultConfig()
 	}
+	cfg.applyFaults()
 	rng := simrand.New(cfg.Seed)
 	dc := fabric.New(eng, rng, cfg.Fabric)
 	c := &Cloud{
@@ -63,7 +100,16 @@ func NewCloudOn(eng *sim.Engine, cfg Config) *Cloud {
 		Table:      tablesvc.New(eng, rng, cfg.Table),
 		Queue:      queuesvc.New(eng, rng, cfg.Queue),
 		SQL:        sqlsvc.New(eng, rng, cfg.SQL),
+		Ops:        metrics.NewOpStats(),
 		rng:        rng.Fork("cloud"),
+	}
+	record := func(e reqpath.Event) {
+		c.Ops.Record(e.Op, e.Latency, string(storerr.CodeOf(e.Err)))
+	}
+	for _, pl := range []*reqpath.Pipeline{
+		c.Blob.Pipeline(), c.Table.Pipeline(), c.Queue.Pipeline(), c.SQL.Pipeline(),
+	} {
+		pl.AddHook(record)
 	}
 	return c
 }
@@ -77,6 +123,7 @@ func (c *Cloud) NewClient(vm *fabric.VM, id int) *Client {
 		vm:    vm,
 		blob:  c.Blob.NewSession(id),
 		rng:   c.rng.ForkN("client", id),
+		stats: metrics.NewOpStats(),
 	}
 }
 

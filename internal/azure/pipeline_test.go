@@ -1,0 +1,162 @@
+package azure
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"azureobs/internal/fabric"
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/reqpath"
+	"azureobs/internal/storage/sqlsvc"
+	"azureobs/internal/storage/storerr"
+	"azureobs/internal/storage/tablesvc"
+)
+
+// TestCloudOpsAccounting: every storage request — from any service, through
+// the client or against the service directly — lands in Cloud.Ops via the
+// pipeline hook, and client-issued ops land in Client.Ops too.
+func TestCloudOpsAccounting(t *testing.T) {
+	c := NewCloud(Config{Seed: 3})
+	c.Blob.Seed("d", "b", 1000)
+	c.Table.CreateTable("t")
+	q := c.Queue.CreateQueue("q")
+	c.SQL.CreateDatabase("db", 0)
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		if _, err := cl.GetBlob(p, "d", "b"); err != nil {
+			t.Errorf("GetBlob: %v", err)
+		}
+		if _, err := cl.GetBlob(p, "d", "missing"); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("GetBlob missing = %v", err)
+		}
+		if err := cl.InsertEntity(p, "t", tablesvc.PaddedEntity("pk", "rk", 256)); err != nil {
+			t.Errorf("InsertEntity: %v", err)
+		}
+		if _, err := cl.AddMessage(p, q, "m", 64); err != nil {
+			t.Errorf("AddMessage: %v", err)
+		}
+		// Direct service access (no client) must still be observed.
+		conn, err := c.SQL.Open(p, "db", 0)
+		if err != nil {
+			t.Errorf("sql.Open: %v", err)
+		} else {
+			conn.Close()
+		}
+	})
+	c.Engine.Run()
+
+	for _, op := range []string{"blob.Get", "table.Insert", "queue.Add", "sql.Open"} {
+		if c.Ops.Get(op) == nil {
+			t.Errorf("Cloud.Ops missing %q; have %v", op, c.Ops.Ops())
+		}
+	}
+	g := c.Ops.Get("blob.Get")
+	if g.OK != 1 || g.Errors.Get(string(storerr.CodeNotFound)) != 1 {
+		t.Errorf("blob.Get cloud stats: OK=%d notfound=%d", g.OK, g.Errors.Get(string(storerr.CodeNotFound)))
+	}
+	if cg := cl.Ops().Get("blob.Get"); cg == nil || cg.Latency.N() != 2 {
+		t.Errorf("client blob.Get stats missing or wrong count")
+	}
+	if cl.Ops().Get("sql.Open") != nil {
+		t.Error("client stats picked up a non-client op")
+	}
+}
+
+// TestUniformFaultConfig: one Config.Faults line injects the same conn-fail
+// mix into all four services, at the configured rate.
+func TestUniformFaultConfig(t *testing.T) {
+	const prob = 0.25
+	const n = 1200
+	c := NewCloud(Config{Seed: 17, Faults: reqpath.FaultConfig{ConnFailProb: prob}})
+	c.Blob.Seed("d", "b", 10)
+	c.Table.CreateTable("t")
+	c.Table.Backdoor("t", tablesvc.PaddedEntity("pk", "rk", 64))
+	q := c.Queue.CreateQueue("q")
+	c.SQL.CreateDatabase("db", 0)
+	c.SQL.Seed("db", "t", "k", 64)
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+
+	fails := map[string]int{}
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		count := func(svc string, err error) {
+			if err == nil {
+				return
+			}
+			if !storerr.IsCode(err, storerr.CodeConnection) {
+				t.Errorf("%s: unexpected %v", svc, err)
+				return
+			}
+			fails[svc]++
+		}
+		var conn *sqlsvc.Conn
+		for i := 0; i < n; i++ {
+			_, err := cl.GetBlob(p, "d", "b")
+			count("blob", err)
+			_, err = cl.GetEntity(p, "t", "pk", "rk")
+			count("table", err)
+			_, _, err = cl.PeekMessage(p, q)
+			count("queue", err)
+			if conn == nil {
+				// Open is itself under fault injection; keep retrying so the
+				// Select sample stays at n draws.
+				for conn == nil {
+					conn, err = c.SQL.Open(p, "db", 0)
+					if err != nil && !storerr.IsCode(err, storerr.CodeConnection) {
+						t.Errorf("sql.Open: %v", err)
+						return
+					}
+				}
+			}
+			_, err = conn.Select(p, "t", "k")
+			count("sql", err)
+		}
+	})
+	c.Engine.Run()
+
+	sigma := math.Sqrt(prob * (1 - prob) / n)
+	for _, svc := range []string{"blob", "table", "queue", "sql"} {
+		rate := float64(fails[svc]) / n
+		if math.Abs(rate-prob) > 5*sigma {
+			t.Errorf("%s conn-fail rate %.4f, configured %.2f (±%.4f)", svc, rate, prob, 5*sigma)
+		}
+	}
+}
+
+// TestFaultIsolationAcrossServices is the cross-service draw-order
+// regression test: turning fault injection on for the table service must not
+// move a single event in the queue service's trace, because every pipeline
+// stage draws from its own named stream.
+func TestFaultIsolationAcrossServices(t *testing.T) {
+	trace := func(tableConnProb float64) []time.Duration {
+		cfg := Config{Seed: 21}
+		cfg.Table.ConnFailProb = tableConnProb
+		c := NewCloud(cfg)
+		c.Table.CreateTable("t")
+		q := c.Queue.CreateQueue("q")
+		var out []time.Duration
+		c.Engine.Spawn("app", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				// Interleave table ops (whose faults are toggled) with queue
+				// ops (whose timing is the trace under test).
+				c.Table.Insert(p, "t", tablesvc.PaddedEntity("pk", "rk", 64+i))
+				before := p.Now()
+				if _, err := c.Queue.Add(p, q, "m", 128); err != nil {
+					t.Errorf("queue.Add: %v", err)
+				}
+				out = append(out, p.Now()-before)
+			}
+		})
+		c.Engine.Run()
+		return out
+	}
+	clean := trace(0)
+	faulty := trace(0.5)
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("queue op %d latency moved (%v -> %v) when table faults were enabled", i, clean[i], faulty[i])
+		}
+	}
+}

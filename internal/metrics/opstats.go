@@ -1,0 +1,68 @@
+package metrics
+
+import "time"
+
+// OpStat aggregates one operation's outcomes: a latency summary over all
+// requests (successes and failures), the success count, and error counts
+// keyed by storage error code.
+type OpStat struct {
+	Latency Summary
+	OK      uint64
+	Errors  *CounterSet
+}
+
+// OpStats tallies per-operation latency and error statistics, keyed by
+// operation name ("blob.Get", "table.Insert", ...). Iteration order is
+// insertion order, so reports are stable. It is the sink behind the storage
+// pipeline's hooks — the per-service observability the paper's Section 6.3
+// monitoring infrastructure provided.
+type OpStats struct {
+	names []string
+	m     map[string]*OpStat
+}
+
+// NewOpStats returns an empty tally.
+func NewOpStats() *OpStats {
+	return &OpStats{m: make(map[string]*OpStat)}
+}
+
+// Record tallies one completed operation. errCode is the storage error code
+// ("" for success).
+func (os *OpStats) Record(op string, d time.Duration, errCode string) {
+	st, ok := os.m[op]
+	if !ok {
+		st = &OpStat{Errors: NewCounterSet()}
+		os.m[op] = st
+		os.names = append(os.names, op)
+	}
+	st.Latency.AddDuration(d)
+	if errCode == "" {
+		st.OK++
+	} else {
+		st.Errors.Inc(errCode, 1)
+	}
+}
+
+// Get returns the named operation's stats, or nil if it was never recorded.
+func (os *OpStats) Get(op string) *OpStat { return os.m[op] }
+
+// Ops returns the recorded operation names in insertion order.
+func (os *OpStats) Ops() []string { return os.names }
+
+// TotalErrors sums error counts across all operations.
+func (os *OpStats) TotalErrors() uint64 {
+	var t uint64
+	for _, n := range os.names {
+		t += os.m[n].Errors.Total()
+	}
+	return t
+}
+
+// Total sums request counts (successes and failures) across all operations.
+func (os *OpStats) Total() uint64 {
+	var t uint64
+	for _, n := range os.names {
+		t += os.m[n].Latency.N()
+	}
+	return t
+}

@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpStats(t *testing.T) {
+	os := NewOpStats()
+	os.Record("blob.Get", 10*time.Millisecond, "")
+	os.Record("blob.Get", 30*time.Millisecond, "OperationTimedOut")
+	os.Record("table.Insert", 5*time.Millisecond, "")
+	os.Record("blob.Get", 20*time.Millisecond, "OperationTimedOut")
+
+	if got := os.Ops(); len(got) != 2 || got[0] != "blob.Get" || got[1] != "table.Insert" {
+		t.Fatalf("ops = %v, want insertion order [blob.Get table.Insert]", got)
+	}
+	g := os.Get("blob.Get")
+	if g.OK != 1 || g.Errors.Get("OperationTimedOut") != 2 || g.Latency.N() != 3 {
+		t.Fatalf("blob.Get stat = OK=%d errs=%d n=%d", g.OK, g.Errors.Get("OperationTimedOut"), g.Latency.N())
+	}
+	if mean := g.Latency.Mean(); mean < 0.019 || mean > 0.021 {
+		t.Fatalf("blob.Get mean latency = %v, want 20ms", mean)
+	}
+	if os.Total() != 4 || os.TotalErrors() != 2 {
+		t.Fatalf("totals = %d/%d, want 4 requests, 2 errors", os.Total(), os.TotalErrors())
+	}
+	if os.Get("missing") != nil {
+		t.Fatal("missing op should be nil")
+	}
+}

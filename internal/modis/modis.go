@@ -12,6 +12,8 @@ import (
 	"azureobs/internal/sim"
 	"azureobs/internal/simrand"
 	"azureobs/internal/storage/queuesvc"
+	"azureobs/internal/storage/reqpath"
+	"azureobs/internal/storage/storerr"
 	"azureobs/internal/storage/tablesvc"
 )
 
@@ -40,6 +42,13 @@ type Config struct {
 
 	// Degradation overrides the host-degradation episode process.
 	Degradation *fabric.DegradationConfig
+
+	// StorageFaults injects the same transient-fault mix into every storage
+	// service the campaign touches (tables, queues, blobs) — the uniform
+	// fault campaign. The campaign's storage calls run under the default
+	// retry policy, so Table 2-style transient errors are mostly absorbed;
+	// terminal failures are tallied in Stats.StorageErrors.
+	StorageFaults reqpath.FaultConfig
 }
 
 // DefaultConfig is the paper-scale campaign.
@@ -103,6 +112,13 @@ type Stats struct {
 	// latency distribution.
 	CompletedRequests uint64
 	TurnaroundHours   *metrics.Sample
+
+	// StorageRetries counts storage-operation attempts beyond the first
+	// (the retry mechanism of Section 5.2 absorbing transient faults);
+	// StorageErrors tallies operations that still failed after retrying,
+	// keyed by "op/code".
+	StorageRetries uint64
+	StorageErrors  *metrics.CounterSet
 }
 
 // TotalExecs returns the total task execution count.
@@ -146,6 +162,11 @@ type Campaign struct {
 	Log      *oplog.Log
 	Analyzer *oplog.TaxonomyAnalyzer
 
+	// retry wraps every storage call the campaign makes; with fault
+	// injection off it never draws or sleeps, keeping fault-free campaigns
+	// bit-identical.
+	retry azure.RetryPolicy
+
 	queue   *taskQueue
 	workers []*fabric.VM
 
@@ -163,6 +184,7 @@ type Campaign struct {
 // (The production system polled; the token queue reproduces the same FIFO
 // delivery without 10^8 empty polls.)
 type taskQueue struct {
+	camp   *Campaign
 	cloud  *azure.Cloud
 	q      *queuesvc.Queue
 	tokens *sim.Queue[uint64]
@@ -197,7 +219,7 @@ func NewCampaign(cfg Config) *Campaign {
 		cfg.MaxAttempts = def.MaxAttempts
 	}
 
-	ccfg := azure.Config{Seed: cfg.Seed}
+	ccfg := azure.Config{Seed: cfg.Seed, Faults: cfg.StorageFaults}
 	ccfg.Fabric = fabric.DefaultConfig()
 	ccfg.Fabric.Degradation = true
 	dcfg := modisDegradation()
@@ -222,8 +244,11 @@ func NewCampaign(cfg Config) *Campaign {
 		Log:      oplog.New(256),
 		Analyzer: oplog.NewTaxonomyAnalyzer(string(OutcomeVMTimeout)),
 	}
+	c.Stats.StorageErrors = metrics.NewCounterSet()
+	c.retry = azure.DefaultRetryPolicy().WithJitter(0.5, c.rng.Fork("retry"))
 	c.Log.Subscribe(c.Analyzer.Sink())
 	c.queue = &taskQueue{
+		camp:   c,
 		cloud:  cloud,
 		q:      cloud.Queue.CreateQueue("modis-tasks"),
 		tokens: sim.NewQueue[uint64](),
@@ -314,11 +339,16 @@ func (c *Campaign) submitRequest(p *sim.Proc, rng *simrand.RNG, sizeDist simrand
 			"Status":        tablesvc.StrProp("submitted"),
 		},
 	}
-	if err := c.cloud.Table.Insert(p, "modis-requests", reqEntity); err != nil {
-		panic(err)
+	if err := c.storageDo(p, "table.Insert", func() error {
+		return c.cloud.Table.Insert(p, "modis-requests", reqEntity)
+	}); err != nil {
+		return // request lost at the portal; tallied in StorageErrors
 	}
-	if _, err := c.cloud.Queue.Add(p, c.reqQueue, fmt.Sprintf("%d", req.ID), 512); err != nil {
-		panic(err)
+	if err := c.storageDo(p, "queue.Add", func() error {
+		_, err := c.cloud.Queue.Add(p, c.reqQueue, fmt.Sprintf("%d", req.ID), 512)
+		return err
+	}); err != nil {
+		return
 	}
 	c.reqTokens.Put(req)
 	c.Stats.Requests++
@@ -332,16 +362,24 @@ func (c *Campaign) serviceManager(p *sim.Proc) {
 	rng := c.rng.Fork("manager")
 	for {
 		req := c.reqTokens.Get(p)
-		msg, rcpt, ok, err := c.cloud.Queue.Receive(p, c.reqQueue, 2*time.Hour)
-		if err != nil {
-			panic(err)
+		var msg *queuesvc.Message
+		var rcpt queuesvc.Receipt
+		var ok bool
+		if err := c.storageDo(p, "queue.Receive", func() error {
+			var err error
+			msg, rcpt, ok, err = c.cloud.Queue.Receive(p, c.reqQueue, 2*time.Hour)
+			return err
+		}); err != nil {
+			continue // request stranded in the service queue; tallied
 		}
 		if !ok {
 			continue
 		}
-		if err := c.cloud.Queue.Delete(p, c.reqQueue, rcpt); err != nil {
-			panic(err)
-		}
+		// A failed delete leaves the message to reappear after its
+		// visibility window; the request itself still proceeds.
+		c.storageDo(p, "queue.Delete", func() error {
+			return c.cloud.Queue.Delete(p, c.reqQueue, rcpt)
+		})
 		_ = msg
 		c.expandRequest(p, req, rng)
 	}
@@ -398,6 +436,26 @@ func (c *Campaign) releaseStage(p *sim.Proc, req *Request, idx int) {
 	}
 	c.Stats.CompletedRequests++
 	c.Stats.TurnaroundHours.Add((p.Now() - req.submitted).Hours())
+}
+
+// storageDo runs one storage operation under the campaign's retry policy —
+// the "robust retry mechanisms" the paper found indispensable (Section 5.2)
+// in place of the original panic-on-error plumbing. Retries and terminal
+// failures are tallied; the terminal error (nil on success) is returned so
+// call sites can shed the affected work instead of crashing the campaign.
+func (c *Campaign) storageDo(p *sim.Proc, name string, op func() error) error {
+	attempts := 0
+	err := c.retry.Do(p, func() error {
+		attempts++
+		return op()
+	})
+	if attempts > 1 {
+		c.Stats.StorageRetries += uint64(attempts - 1)
+	}
+	if err != nil {
+		c.Stats.StorageErrors.Inc(name+"/"+string(storerr.CodeOf(err)), 1)
+	}
+	return err
 }
 
 // stageIndex returns a type's position in the pipeline order.
@@ -497,11 +555,17 @@ func (c *Campaign) finishTask(p *sim.Proc, task *Task) {
 	req.tasks[task.Type] = nil // allow the task memory to be reclaimed
 }
 
-// enqueue adds a task to the service queue and wakes one worker.
+// enqueue adds a task to the service queue and wakes one worker. A task
+// whose Add fails terminally is lost (its stage never drains) — the
+// production hazard the explicit status tables were built to detect.
 func (b *taskQueue) enqueue(p *sim.Proc, t *Task) {
 	b.tasks[t.ID] = t
-	if _, err := b.cloud.Queue.Add(p, b.q, strconv.FormatUint(t.ID, 10), 1024); err != nil {
-		panic(err)
+	if err := b.camp.storageDo(p, "queue.Add", func() error {
+		_, err := b.cloud.Queue.Add(p, b.q, strconv.FormatUint(t.ID, 10), 1024)
+		return err
+	}); err != nil {
+		delete(b.tasks, t.ID)
+		return
 	}
 	b.tokens.Put(t.ID)
 }
@@ -512,22 +576,39 @@ func (b *taskQueue) enqueue(p *sim.Proc, t *Task) {
 func (b *taskQueue) dequeue(p *sim.Proc) *Task {
 	for {
 		b.tokens.Get(p)
-		msg, rcpt, ok, err := b.cloud.Queue.Receive(p, b.q, 2*time.Hour)
-		if err != nil {
-			panic(err)
+		for {
+			var msg *queuesvc.Message
+			var rcpt queuesvc.Receipt
+			var ok bool
+			if err := b.camp.storageDo(p, "queue.Receive", func() error {
+				var err error
+				msg, rcpt, ok, err = b.cloud.Queue.Receive(p, b.q, 2*time.Hour)
+				return err
+			}); err != nil {
+				break // message stranded until its visibility backstop
+			}
+			if !ok {
+				break // token raced a message already consumed
+			}
+			// A failed delete means this message reappears after its
+			// visibility window — the stale-redelivery hazard of
+			// Section 5.2. The reappearance is handled below.
+			b.camp.storageDo(p, "queue.Delete", func() error {
+				return b.cloud.Queue.Delete(p, b.q, rcpt)
+			})
+			id, err := strconv.ParseUint(msg.Body, 10, 64)
+			if err != nil {
+				panic(err)
+			}
+			t, live := b.tasks[id]
+			if !live {
+				// Stale redelivery of a message whose earlier delete failed:
+				// its task already ran. Discard and receive again on the
+				// same token, which still has a live message to pair with.
+				continue
+			}
+			delete(b.tasks, id)
+			return t
 		}
-		if !ok {
-			continue // token raced a message already consumed
-		}
-		if err := b.cloud.Queue.Delete(p, b.q, rcpt); err != nil {
-			panic(err)
-		}
-		id, err := strconv.ParseUint(msg.Body, 10, 64)
-		if err != nil {
-			panic(err)
-		}
-		t := b.tasks[id]
-		delete(b.tasks, id)
-		return t
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"azureobs/internal/fabric"
 	"azureobs/internal/simrand"
+	"azureobs/internal/storage/reqpath"
 )
 
 // smallCampaign returns a ~1% scale campaign (a few weeks, fewer workers)
@@ -317,5 +318,36 @@ func TestPaperTable2Consistency(t *testing.T) {
 	}
 	if outcomes[OutcomeSuccess] != 2000656 {
 		t.Fatalf("success = %d", outcomes[OutcomeSuccess])
+	}
+}
+
+// TestStorageFaultCampaign: one StorageFaults line injects the same
+// transient mix into every storage service the campaign touches; the retry
+// layer absorbs nearly all of it (Section 5.2's "robust retry mechanisms"),
+// so the campaign still completes with its usual shape instead of crashing.
+func TestStorageFaultCampaign(t *testing.T) {
+	cfg := smallCampaign(11)
+	cfg.Days = 7
+	clean := NewCampaign(cfg).Run()
+	if clean.StorageRetries != 0 || clean.StorageErrors.Total() != 0 {
+		t.Fatalf("fault-free campaign shows storage trouble: retries=%d errs=%d",
+			clean.StorageRetries, clean.StorageErrors.Total())
+	}
+
+	cfg.StorageFaults = reqpath.FaultConfig{ConnFailProb: 0.05, ServerBusyProb: 0.02}
+	st := NewCampaign(cfg).Run()
+	if st.StorageRetries == 0 {
+		t.Fatal("fault campaign recorded no storage retries")
+	}
+	// With p≈0.07 per attempt and 4 attempts, terminal failures are ~p^4 ≈
+	// 2e-5 of ops — rare but the campaign must survive them when they land.
+	if st.Requests == 0 || st.TotalExecs() < 1000 {
+		t.Fatalf("fault campaign collapsed: requests=%d execs=%d", st.Requests, st.TotalExecs())
+	}
+	// Terminal storage failures shed work; they must stay a sliver of the
+	// retry volume.
+	if st.StorageErrors.Total() > st.StorageRetries/10 {
+		t.Fatalf("too many terminal storage errors: %d (retries %d)",
+			st.StorageErrors.Total(), st.StorageRetries)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"azureobs/internal/netsim"
 	"azureobs/internal/sim"
 	"azureobs/internal/simrand"
+	"azureobs/internal/storage/reqpath"
 	"azureobs/internal/storage/storerr"
 )
 
@@ -102,6 +103,7 @@ type Service struct {
 	eng *sim.Engine
 	net *netsim.Fabric
 	rng *simrand.RNG
+	pl  *reqpath.Pipeline
 
 	downloadProfile func(int) netsim.Bandwidth
 	ingress         *netsim.Link
@@ -139,6 +141,17 @@ func New(eng *sim.Engine, net *netsim.Fabric, rng *simrand.RNG, cfg Config) *Ser
 		rng:        rng.Fork("blobsvc"),
 		containers: make(map[string]map[string]*Blob),
 	}
+	s.pl = reqpath.New(s.rng, reqpath.Config{
+		Service: "blob",
+		Faults: reqpath.FaultConfig{
+			ConnFailProb:    cfg.ConnFailProb,
+			ServerBusyProb:  cfg.ServerBusyProb,
+			ReadFailProb:    cfg.ReadFailProb,
+			CorruptReadProb: cfg.CorruptReadProb,
+		},
+		Latency: cfg.RequestLatency,
+		Net:     net,
+	})
 	s.downloadProfile = netsim.CapacityProfile(cfg.DownloadProfile...)
 	s.ingress = net.NewLink("blob-ingress", 125*netsim.MBps)
 	s.ingress.SetCapacityFn(netsim.CapacityProfile(cfg.UploadProfile...))
@@ -161,6 +174,10 @@ func (s *Service) Seed(container, name string, size int64) *Blob {
 	s.containers[container][name] = b
 	return b
 }
+
+// Pipeline exposes the service's request pipeline so callers (the azure SDK)
+// can install per-request hooks; sessions share its hook set.
+func (s *Service) Pipeline() *reqpath.Pipeline { return s.pl }
 
 // Downloads returns the number of completed downloads.
 func (s *Service) Downloads() uint64 { return s.downloads }
@@ -188,85 +205,74 @@ func (s *Service) BlobCount(container string) int { return len(s.containers[cont
 
 // Session is one client connection context. Each concurrent client must use
 // its own session: the session's private access links are what impose the
-// per-client bandwidth caps.
+// per-client bandwidth caps, and its private pipeline carries independent
+// fault/latency streams.
 type Session struct {
 	svc  *Service
-	rng  *simrand.RNG
+	pl   *reqpath.Pipeline
 	down *netsim.Link
 	up   *netsim.Link
 }
 
 // NewSession opens a client session. The id decorrelates the session's
-// random stream.
+// random streams.
 func (s *Service) NewSession(id int) *Session {
 	return &Session{
 		svc:  s,
-		rng:  s.rng.ForkN("session", id),
+		pl:   s.pl.ForkN("session", id),
 		down: s.net.NewLink("blob-client-down", s.cfg.ClientDownBW),
 		up:   s.net.NewLink("blob-client-up", s.cfg.ClientUpBW),
 	}
 }
 
-// overhead sleeps the per-request latency and applies pre-request fault
-// injection.
-func (sess *Session) overhead(p *sim.Proc, op string) error {
-	if sess.rng.Hit(sess.svc.cfg.ConnFailProb) {
-		return storerr.New(storerr.CodeConnection, op, "connection reset")
+// download moves a blob payload through the service egress and session
+// access link, then applies the integrity stage — the shared tail of Get and
+// GetRange.
+func (sess *Session) download(c *reqpath.Ctx, b *Blob, size int64) error {
+	if err := c.ReadFault(); err != nil {
+		return err
 	}
-	p.Sleep(simrand.Duration(sess.svc.cfg.RequestLatency, sess.rng))
-	if sess.rng.Hit(sess.svc.cfg.ServerBusyProb) {
-		return storerr.New(storerr.CodeServerBusy, op, "throttled")
-	}
-	return nil
+	c.Transfer(size, b.egress, sess.down)
+	sess.svc.downloads++
+	return c.CorruptRead("%s/%s checksum mismatch", b.Container, b.Name)
 }
 
 // Get downloads a blob in full, blocking for the transfer, and returns its
 // size.
-func (sess *Session) Get(p *sim.Proc, container, name string) (int64, error) {
-	const op = "blob.Get"
-	if err := sess.overhead(p, op); err != nil {
-		return 0, err
+func (sess *Session) Get(p *sim.Proc, container, name string) (size int64, err error) {
+	err = sess.pl.Do(p, "blob.Get", func(c *reqpath.Ctx) error {
+		b, ok := sess.svc.containers[container][name]
+		if !ok {
+			return c.Failf(storerr.CodeNotFound, "%s/%s", container, name)
+		}
+		size = b.Size
+		return sess.download(c, b, b.Size)
+	})
+	if err != nil {
+		size = 0
 	}
-	b, ok := sess.svc.containers[container][name]
-	if !ok {
-		return 0, storerr.Newf(storerr.CodeNotFound, op, "%s/%s", container, name)
-	}
-	if sess.rng.Hit(sess.svc.cfg.ReadFailProb) {
-		return 0, storerr.New(storerr.CodeTimeout, op, "read failed server-side")
-	}
-	sess.svc.net.Transfer(p, b.Size, b.egress, sess.down)
-	sess.svc.downloads++
-	if sess.rng.Hit(sess.svc.cfg.CorruptReadProb) {
-		return 0, storerr.Newf(storerr.CodeCorruptRead, op, "%s/%s checksum mismatch", container, name)
-	}
-	return b.Size, nil
+	return size, err
 }
 
 // GetRange downloads length bytes starting at offset, returning the bytes
 // actually transferred (truncated at the blob end). Range reads against the
 // 2009 API are how clients parallelise a large download across connections.
 func (sess *Session) GetRange(p *sim.Proc, container, name string, offset, length int64) (int64, error) {
-	const op = "blob.GetRange"
-	if err := sess.overhead(p, op); err != nil {
+	err := sess.pl.Do(p, "blob.GetRange", func(c *reqpath.Ctx) error {
+		b, ok := sess.svc.containers[container][name]
+		if !ok {
+			return c.Failf(storerr.CodeNotFound, "%s/%s", container, name)
+		}
+		if offset < 0 || offset >= b.Size || length <= 0 {
+			return c.Failf(storerr.CodeInternal, "bad range [%d,+%d) of %d", offset, length, b.Size)
+		}
+		if offset+length > b.Size {
+			length = b.Size - offset
+		}
+		return sess.download(c, b, length)
+	})
+	if err != nil {
 		return 0, err
-	}
-	b, ok := sess.svc.containers[container][name]
-	if !ok {
-		return 0, storerr.Newf(storerr.CodeNotFound, op, "%s/%s", container, name)
-	}
-	if offset < 0 || offset >= b.Size || length <= 0 {
-		return 0, storerr.Newf(storerr.CodeInternal, op, "bad range [%d,+%d) of %d", offset, length, b.Size)
-	}
-	if offset+length > b.Size {
-		length = b.Size - offset
-	}
-	if sess.rng.Hit(sess.svc.cfg.ReadFailProb) {
-		return 0, storerr.New(storerr.CodeTimeout, op, "read failed server-side")
-	}
-	sess.svc.net.Transfer(p, length, b.egress, sess.down)
-	sess.svc.downloads++
-	if sess.rng.Hit(sess.svc.cfg.CorruptReadProb) {
-		return 0, storerr.Newf(storerr.CodeCorruptRead, op, "%s/%s checksum mismatch", container, name)
 	}
 	return length, nil
 }
@@ -276,42 +282,38 @@ func (sess *Session) GetRange(p *sim.Proc, container, name string, offset, lengt
 // which is how ModisAzure used it to elide duplicate work (Table 2's "Blob
 // already exists" entries).
 func (sess *Session) Put(p *sim.Proc, container, name string, size int64, overwrite bool) error {
-	const op = "blob.Put"
-	if err := sess.overhead(p, op); err != nil {
-		return err
-	}
-	c, ok := sess.svc.containers[container]
-	if !ok {
-		return storerr.Newf(storerr.CodeNotFound, op, "container %s", container)
-	}
-	if _, exists := c[name]; exists && !overwrite {
-		return storerr.Newf(storerr.CodeBlobExists, op, "%s/%s", container, name)
-	}
-	sess.svc.net.Transfer(p, size, sess.up, sess.svc.ingress)
-	c[name] = sess.svc.newBlob(container, name, size, p.Now())
-	sess.svc.uploads++
-	return nil
+	return sess.pl.Do(p, "blob.Put", func(c *reqpath.Ctx) error {
+		cont, ok := sess.svc.containers[container]
+		if !ok {
+			return c.Failf(storerr.CodeNotFound, "container %s", container)
+		}
+		if _, exists := cont[name]; exists && !overwrite {
+			return c.Failf(storerr.CodeBlobExists, "%s/%s", container, name)
+		}
+		c.Transfer(size, sess.up, sess.svc.ingress)
+		cont[name] = sess.svc.newBlob(container, name, size, c.P.Now())
+		sess.svc.uploads++
+		return nil
+	})
 }
 
 // Exists checks blob existence with a lightweight request.
-func (sess *Session) Exists(p *sim.Proc, container, name string) (bool, error) {
-	if err := sess.overhead(p, "blob.Exists"); err != nil {
-		return false, err
-	}
-	_, ok := sess.svc.containers[container][name]
-	return ok, nil
+func (sess *Session) Exists(p *sim.Proc, container, name string) (ok bool, err error) {
+	err = sess.pl.Do(p, "blob.Exists", func(*reqpath.Ctx) error {
+		_, ok = sess.svc.containers[container][name]
+		return nil
+	})
+	return ok && err == nil, err
 }
 
 // Delete removes a blob.
 func (sess *Session) Delete(p *sim.Proc, container, name string) error {
-	const op = "blob.Delete"
-	if err := sess.overhead(p, op); err != nil {
-		return err
-	}
-	c := sess.svc.containers[container]
-	if _, ok := c[name]; !ok {
-		return storerr.Newf(storerr.CodeNotFound, op, "%s/%s", container, name)
-	}
-	delete(c, name)
-	return nil
+	return sess.pl.Do(p, "blob.Delete", func(c *reqpath.Ctx) error {
+		cont := sess.svc.containers[container]
+		if _, ok := cont[name]; !ok {
+			return c.Failf(storerr.CodeNotFound, "%s/%s", container, name)
+		}
+		delete(cont, name)
+		return nil
+	})
 }

@@ -21,6 +21,7 @@ import (
 	"azureobs/internal/netsim"
 	"azureobs/internal/sim"
 	"azureobs/internal/simrand"
+	"azureobs/internal/storage/reqpath"
 	"azureobs/internal/storage/station"
 	"azureobs/internal/storage/storerr"
 )
@@ -91,6 +92,7 @@ type Service struct {
 	cfg Config
 	eng *sim.Engine
 	rng *simrand.RNG
+	pl  *reqpath.Pipeline
 
 	add, peek, receive, del *station.Station
 
@@ -135,9 +137,18 @@ func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
 	}
 	r := rng.Fork("queuesvc")
 	return &Service{
-		cfg:     cfg,
-		eng:     eng,
-		rng:     r,
+		cfg: cfg,
+		eng: eng,
+		rng: r,
+		pl: reqpath.New(r, reqpath.Config{
+			Service: "queue",
+			Faults: reqpath.FaultConfig{
+				ConnFailProb:   cfg.ConnFailProb,
+				ServerBusyProb: cfg.ServerBusyProb,
+			},
+			UploadBW:   cfg.ClientWriteBW,
+			DownloadBW: cfg.ClientReadBW,
+		}),
 		add:     station.New(cfg.Add, r.Fork("add")),
 		peek:    station.New(cfg.Peek, r.Fork("peek")),
 		receive: station.New(cfg.Receive, r.Fork("receive")),
@@ -145,6 +156,9 @@ func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
 		queues:  make(map[string]*Queue),
 	}
 }
+
+// Pipeline exposes the service's request pipeline for hook installation.
+func (s *Service) Pipeline() *reqpath.Pipeline { return s.pl }
 
 // CreateQueue makes a queue (idempotent) and returns it.
 func (s *Service) CreateQueue(name string) *Queue {
@@ -176,39 +190,21 @@ func (q *Queue) Prefill(n, size int) {
 	}
 }
 
-func (s *Service) faults(op string) error {
-	if s.rng.Hit(s.cfg.ConnFailProb) {
-		return storerr.New(storerr.CodeConnection, op, "connection reset")
-	}
-	if s.rng.Hit(s.cfg.ServerBusyProb) {
-		return storerr.New(storerr.CodeServerBusy, op, "throttled")
-	}
-	return nil
-}
-
-func (s *Service) writeTime(size int) time.Duration {
-	return time.Duration(float64(size) / float64(s.cfg.ClientWriteBW) * float64(time.Second))
-}
-
-func (s *Service) readTime(size int) time.Duration {
-	return time.Duration(float64(size) / float64(s.cfg.ClientReadBW) * float64(time.Second))
-}
-
 // Add appends a message with the given body, padded to size bytes.
-func (s *Service) Add(p *sim.Proc, q *Queue, body string, size int) (uint64, error) {
-	const op = "queue.Add"
-	if err := s.faults(op); err != nil {
-		return 0, err
-	}
-	if size < len(body) {
-		size = len(body)
-	}
-	s.add.Visit(p, s.writeTime(size))
-	q.nextID++
-	m := &Message{ID: q.nextID, Body: body, Size: size, Inserted: p.Now()}
-	m.elem = q.msgs.PushBack(m)
-	q.byID[m.ID] = m
-	return m.ID, nil
+func (s *Service) Add(p *sim.Proc, q *Queue, body string, size int) (id uint64, err error) {
+	err = s.pl.Do(p, "queue.Add", func(c *reqpath.Ctx) error {
+		if size < len(body) {
+			size = len(body)
+		}
+		c.Station(s.add, c.UploadCost(size))
+		q.nextID++
+		m := &Message{ID: q.nextID, Body: body, Size: size, Inserted: c.P.Now()}
+		m.elem = q.msgs.PushBack(m)
+		q.byID[m.ID] = m
+		id = m.ID
+		return nil
+	})
+	return id, err
 }
 
 // firstVisible returns the first live visible message at the current time.
@@ -224,70 +220,73 @@ func (q *Queue) firstVisible(now time.Duration) *Message {
 
 // Peek returns the first visible message without changing queue state, or
 // ok=false when the queue has none.
-func (s *Service) Peek(p *sim.Proc, q *Queue) (*Message, bool, error) {
-	const op = "queue.Peek"
-	if err := s.faults(op); err != nil {
+func (s *Service) Peek(p *sim.Proc, q *Queue) (msg *Message, ok bool, err error) {
+	err = s.pl.Do(p, "queue.Peek", func(c *reqpath.Ctx) error {
+		c.Station(s.peek, 0)
+		m := q.firstVisible(c.P.Now())
+		if m == nil {
+			return nil
+		}
+		c.Download(m.Size)
+		msg, ok = m, true
+		return nil
+	})
+	if err != nil {
 		return nil, false, err
 	}
-	s.peek.Visit(p, 0)
-	m := q.firstVisible(p.Now())
-	if m == nil {
-		return nil, false, nil
-	}
-	p.Sleep(s.readTime(m.Size))
-	return m, true, nil
+	return msg, ok, nil
 }
 
 // Receive pops the first visible message, hiding it for the visibility
 // window (clamped to MaxVisibility; zero means the service default). If the
 // consumer does not Delete it in time it reappears for other consumers —
 // the automatic retry behaviour of Section 5.2.
-func (s *Service) Receive(p *sim.Proc, q *Queue, visibility time.Duration) (*Message, Receipt, bool, error) {
-	const op = "queue.Receive"
-	if err := s.faults(op); err != nil {
+func (s *Service) Receive(p *sim.Proc, q *Queue, visibility time.Duration) (msg *Message, rcpt Receipt, ok bool, err error) {
+	err = s.pl.Do(p, "queue.Receive", func(c *reqpath.Ctx) error {
+		if visibility <= 0 {
+			visibility = s.cfg.DefaultVisibility
+		}
+		if visibility > s.cfg.MaxVisibility {
+			visibility = s.cfg.MaxVisibility
+		}
+		// The service time elapses first; the message is then selected and
+		// hidden in one atomic instant, so concurrent receivers never race
+		// for the same message. The payload transfer follows.
+		c.Station(s.receive, 0)
+		m := q.firstVisible(c.P.Now())
+		if m == nil {
+			return nil
+		}
+		m.visibleAt = c.P.Now() + visibility
+		m.Dequeues++
+		q.nextReceipt++
+		m.receipt = q.nextReceipt
+		msg, rcpt, ok = m, Receipt{MsgID: m.ID, token: q.nextReceipt}, true
+		c.Download(m.Size)
+		return nil
+	})
+	if err != nil {
 		return nil, Receipt{}, false, err
 	}
-	if visibility <= 0 {
-		visibility = s.cfg.DefaultVisibility
-	}
-	if visibility > s.cfg.MaxVisibility {
-		visibility = s.cfg.MaxVisibility
-	}
-	// The service time elapses first; the message is then selected and
-	// hidden in one atomic instant, so concurrent receivers never race for
-	// the same message. The payload transfer follows.
-	s.receive.Visit(p, 0)
-	m := q.firstVisible(p.Now())
-	if m == nil {
-		return nil, Receipt{}, false, nil
-	}
-	m.visibleAt = p.Now() + visibility
-	m.Dequeues++
-	q.nextReceipt++
-	m.receipt = q.nextReceipt
-	rcpt := Receipt{MsgID: m.ID, token: q.nextReceipt}
-	p.Sleep(s.readTime(m.Size))
-	return m, rcpt, true, nil
+	return msg, rcpt, ok, nil
 }
 
 // Delete removes a received message. A stale receipt (the message timed out
 // and was re-received) is a conflict — exactly the corrupted-output hazard
 // the paper describes for slow tasks.
 func (s *Service) Delete(p *sim.Proc, q *Queue, r Receipt) error {
-	const op = "queue.Delete"
-	if err := s.faults(op); err != nil {
-		return err
-	}
-	s.del.Visit(p, 0)
-	m, ok := q.byID[r.MsgID]
-	if !ok || m.deleted {
-		return storerr.Newf(storerr.CodeNotFound, op, "message %d", r.MsgID)
-	}
-	if m.receipt != r.token {
-		return storerr.Newf(storerr.CodeConflict, op, "stale receipt for message %d", m.ID)
-	}
-	m.deleted = true
-	q.msgs.Remove(m.elem)
-	delete(q.byID, m.ID)
-	return nil
+	return s.pl.Do(p, "queue.Delete", func(c *reqpath.Ctx) error {
+		c.Station(s.del, 0)
+		m, ok := q.byID[r.MsgID]
+		if !ok || m.deleted {
+			return c.Failf(storerr.CodeNotFound, "message %d", r.MsgID)
+		}
+		if m.receipt != r.token {
+			return c.Failf(storerr.CodeConflict, "stale receipt for message %d", m.ID)
+		}
+		m.deleted = true
+		q.msgs.Remove(m.elem)
+		delete(q.byID, m.ID)
+		return nil
+	})
 }

@@ -1,0 +1,314 @@
+// Package reqpath is the shared request pipeline of the simulated storage
+// services. Every storage operation — blob, table, queue and SQL — flows
+// through the same conceptual path the paper's measurements exercise:
+//
+//	admission (fault injection + request latency) →
+//	service work (station contention, payload transfer, service faults) →
+//	reply (uniform storerr taxonomy) →
+//	hooks (per-request observation)
+//
+// The pipeline packages that path as composable stages so a service's op
+// methods contain only semantics (lookups, state changes), never fault or
+// transfer plumbing:
+//
+//   - FaultStage: conn-fail / server-busy on admission, read-fail /
+//     corrupt-read / overload-timeout inside the body, each gated by a
+//     per-op probability.
+//   - StationStage: contention at a station.Station.
+//   - TransferStage: payload cost, either through a netsim fabric path or a
+//     fixed per-connection bandwidth.
+//   - ReplyStage: the single Fault → storerr.Code mapping every service
+//     shares, so the azure client's RetryPolicy classifies faults from any
+//     service identically.
+//
+// Determinism: every stage draws from its own named simrand stream (forked
+// as "reqpath/<stage>"), and disabled stages (probability 0 or 1) draw
+// nothing. Enabling a fault on one stage therefore never perturbs the draws
+// of another stage, and adding fault injection to one service never shifts
+// another service's trace.
+package reqpath
+
+import (
+	"time"
+
+	"azureobs/internal/netsim"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/station"
+	"azureobs/internal/storage/storerr"
+)
+
+// Fault identifies an injected fault class.
+type Fault int
+
+// Fault classes injected by the pipeline (Table 2's transient categories).
+const (
+	// FaultConn is a transport failure before the request lands.
+	FaultConn Fault = iota
+	// FaultBusy is the throttling reply of an overloaded service.
+	FaultBusy
+	// FaultRead is a server-side read failure, surfaced as a timeout.
+	FaultRead
+	// FaultCorrupt is a client-side integrity failure after a download.
+	FaultCorrupt
+	// FaultTimeout is a server-side deadline expiry.
+	FaultTimeout
+)
+
+// Code is the ReplyStage: the single mapping from injected fault classes to
+// the storerr taxonomy. All services answer a given fault with the same
+// code, which is what lets the azure RetryPolicy treat them uniformly.
+func (f Fault) Code() storerr.Code {
+	switch f {
+	case FaultConn:
+		return storerr.CodeConnection
+	case FaultBusy:
+		return storerr.CodeServerBusy
+	case FaultRead, FaultTimeout:
+		return storerr.CodeTimeout
+	case FaultCorrupt:
+		return storerr.CodeCorruptRead
+	}
+	return storerr.CodeInternal
+}
+
+// FaultConfig is the per-service fault injection plan. All probabilities
+// default to zero (no faults, no random draws).
+type FaultConfig struct {
+	// ConnFailProb fails a request with CodeConnection before any service
+	// work happens.
+	ConnFailProb float64
+	// ServerBusyProb throttles a request with CodeServerBusy after the
+	// request latency but before the body runs.
+	ServerBusyProb float64
+	// ReadFailProb fails read-class ops server-side (CodeTimeout) where the
+	// service calls Ctx.ReadFault.
+	ReadFailProb float64
+	// CorruptReadProb corrupts downloaded payloads (CodeCorruptRead) where
+	// the service calls Ctx.CorruptRead.
+	CorruptReadProb float64
+}
+
+// Event is one completed request, delivered to hooks after the reply is
+// decided. Latency covers admission through body, faults included.
+type Event struct {
+	Service string
+	Op      string
+	Start   time.Duration
+	Latency time.Duration
+	Err     error
+}
+
+// Hook observes completed requests (metrics, oplog, client accounting).
+type Hook func(Event)
+
+// Config parameterises one service's pipeline.
+type Config struct {
+	// Service names the owning service in hook events ("blob", "table", ...).
+	Service string
+	// Faults is the fault injection plan.
+	Faults FaultConfig
+	// Latency, when set, is the per-request admission latency slept between
+	// the conn-fail and server-busy checks (blob's RequestLatency).
+	Latency simrand.Dist
+	// Net carries Ctx.Transfer payloads; required only by services that
+	// price transfers through the shared fabric (blob).
+	Net *netsim.Fabric
+	// UploadBW / DownloadBW price Ctx.Upload/Download payload costs for
+	// services that model a fixed per-connection bandwidth instead of a
+	// fabric path (table, queue, SQL).
+	UploadBW   netsim.Bandwidth
+	DownloadBW netsim.Bandwidth
+	// ServerTimeout is the server-side deadline burned by Ctx.TimeoutFault
+	// and Ctx.Timeout before the timeout reply is issued.
+	ServerTimeout time.Duration
+}
+
+// hookSet is shared between a pipeline and all pipelines forked from it, so
+// a hook installed on the service-level pipeline also observes requests on
+// per-session pipelines (and vice versa), regardless of creation order.
+type hookSet struct {
+	hooks []Hook
+}
+
+// Pipeline executes requests for one service endpoint (or one session of
+// it). Each fault/latency stage owns a named random stream.
+type Pipeline struct {
+	cfg  Config
+	base *simrand.RNG
+	hs   *hookSet
+
+	conn, busy, read, corrupt, timeout, latency *simrand.RNG
+}
+
+// New builds a pipeline drawing stage streams from rng. The streams are
+// forked with stable "reqpath/<stage>" labels, so they are independent of
+// any other fork of rng (station streams, service-internal draws).
+func New(rng *simrand.RNG, cfg Config) *Pipeline {
+	pl := &Pipeline{cfg: cfg, base: rng, hs: &hookSet{}}
+	pl.forkStages()
+	return pl
+}
+
+// ForkN derives a session pipeline with its own stage streams (decorrelated
+// by label and index) sharing the parent's config and hooks — blob sessions
+// each carry one so concurrent clients draw independently.
+func (pl *Pipeline) ForkN(label string, n int) *Pipeline {
+	child := &Pipeline{cfg: pl.cfg, base: pl.base.ForkN(label, n), hs: pl.hs}
+	child.forkStages()
+	return child
+}
+
+func (pl *Pipeline) forkStages() {
+	pl.conn = pl.base.Fork("reqpath/conn")
+	pl.busy = pl.base.Fork("reqpath/busy")
+	pl.read = pl.base.Fork("reqpath/read")
+	pl.corrupt = pl.base.Fork("reqpath/corrupt")
+	pl.timeout = pl.base.Fork("reqpath/timeout")
+	pl.latency = pl.base.Fork("reqpath/latency")
+}
+
+// AddHook installs a request observer on this pipeline and every pipeline
+// sharing its hook set (ForkN parents and children).
+func (pl *Pipeline) AddHook(h Hook) { pl.hs.hooks = append(pl.hs.hooks, h) }
+
+// Config returns the pipeline's configuration.
+func (pl *Pipeline) Config() Config { return pl.cfg }
+
+// hit draws a Bernoulli trial on the stage stream, consuming no randomness
+// for the degenerate probabilities — a disabled stage must not perturb
+// anything.
+func hit(r *simrand.RNG, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Hit(p)
+}
+
+// Ctx is one in-flight request.
+type Ctx struct {
+	pl    *Pipeline
+	P     *sim.Proc
+	Op    string
+	start time.Duration
+}
+
+// Do runs one request: admission (conn-fail → request latency →
+// server-busy), then body, then hook delivery. The returned error is the
+// body's, or the admission fault.
+func (pl *Pipeline) Do(p *sim.Proc, op string, body func(*Ctx) error) error {
+	c := &Ctx{pl: pl, P: p, Op: op, start: p.Now()}
+	err := pl.admit(c)
+	if err == nil {
+		err = body(c)
+	}
+	for _, h := range pl.hs.hooks {
+		h(Event{Service: pl.cfg.Service, Op: op, Start: c.start, Latency: p.Now() - c.start, Err: err})
+	}
+	return err
+}
+
+// admit is the FaultStage's admission half plus the request-latency stage.
+func (pl *Pipeline) admit(c *Ctx) error {
+	if hit(pl.conn, pl.cfg.Faults.ConnFailProb) {
+		return c.fail(FaultConn, "connection reset")
+	}
+	if pl.cfg.Latency != nil {
+		c.P.Sleep(simrand.Duration(pl.cfg.Latency, pl.latency))
+	}
+	if hit(pl.busy, pl.cfg.Faults.ServerBusyProb) {
+		return c.fail(FaultBusy, "throttled")
+	}
+	return nil
+}
+
+// fail issues the ReplyStage mapping for an injected fault.
+func (c *Ctx) fail(f Fault, msg string) error {
+	return storerr.New(f.Code(), c.Op, msg)
+}
+
+// Failf builds a service-semantic error (not-found, conflict, ...) carrying
+// the request's op.
+func (c *Ctx) Failf(code storerr.Code, format string, args ...any) error {
+	return storerr.Newf(code, c.Op, format, args...)
+}
+
+// ReadFault applies the server-side read-failure stage: with ReadFailProb it
+// returns the FaultRead reply, else nil.
+func (c *Ctx) ReadFault() error {
+	if hit(c.pl.read, c.pl.cfg.Faults.ReadFailProb) {
+		return c.fail(FaultRead, "read failed server-side")
+	}
+	return nil
+}
+
+// CorruptRead applies the post-download integrity stage: with
+// CorruptReadProb it returns the FaultCorrupt reply, else nil.
+func (c *Ctx) CorruptRead(format string, args ...any) error {
+	if hit(c.pl.corrupt, c.pl.cfg.Faults.CorruptReadProb) {
+		return storerr.Newf(FaultCorrupt.Code(), c.Op, format, args...)
+	}
+	return nil
+}
+
+// TimeoutFault fails the request with probability prob, burning the
+// configured ServerTimeout first — the table service's ingest-overload
+// behaviour. It returns nil when the draw misses.
+func (c *Ctx) TimeoutFault(prob float64, format string, args ...any) error {
+	if !hit(c.pl.timeout, prob) {
+		return nil
+	}
+	return c.Timeout(format, args...)
+}
+
+// Timeout unconditionally burns the ServerTimeout and returns the timeout
+// reply — for deadlines the service has already decided are blown (slow
+// scans).
+func (c *Ctx) Timeout(format string, args ...any) error {
+	c.P.Sleep(c.pl.cfg.ServerTimeout)
+	return storerr.Newf(FaultTimeout.Code(), c.Op, format, args...)
+}
+
+// Station is the StationStage: one contended visit, with extra added to the
+// sampled service time (payload transfer, replication sync).
+func (c *Ctx) Station(st *station.Station, extra time.Duration) time.Duration {
+	return st.Visit(c.P, extra)
+}
+
+// Transfer is the fabric TransferStage: it blocks the request for a
+// size-byte transfer across the given links under max-min fair sharing.
+func (c *Ctx) Transfer(size int64, links ...*netsim.Link) time.Duration {
+	return c.pl.cfg.Net.Transfer(c.P, size, links...)
+}
+
+// UploadCost prices a size-byte client→service payload at the configured
+// per-connection upload bandwidth.
+func (c *Ctx) UploadCost(size int) time.Duration {
+	return bwCost(size, c.pl.cfg.UploadBW)
+}
+
+// DownloadCost prices a size-byte service→client payload at the configured
+// per-connection download bandwidth.
+func (c *Ctx) DownloadCost(size int) time.Duration {
+	return bwCost(size, c.pl.cfg.DownloadBW)
+}
+
+// Download blocks the request for the download cost of a size-byte payload.
+func (c *Ctx) Download(size int) { c.P.Sleep(c.DownloadCost(size)) }
+
+func bwCost(size int, bw netsim.Bandwidth) time.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / float64(bw) * float64(time.Second))
+}
+
+// Sample draws a duration from dist on the pipeline's latency stream — for
+// service-specific latencies (scan times, handshakes) that must not share a
+// stream with fault draws.
+func (c *Ctx) Sample(dist simrand.Dist) time.Duration {
+	return simrand.Duration(dist, c.pl.latency)
+}

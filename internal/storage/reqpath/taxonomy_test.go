@@ -1,0 +1,106 @@
+package reqpath_test
+
+import (
+	"testing"
+	"time"
+
+	"azureobs/internal/azure"
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/queuesvc"
+	"azureobs/internal/storage/reqpath"
+	"azureobs/internal/storage/storerr"
+	"azureobs/internal/storage/tablesvc"
+)
+
+// TestFaultTaxonomyUniformAcrossServices is the cross-layer contract of the
+// ReplyStage: every service answers a given injected fault class with the
+// same storerr code, and the azure client's RetryPolicy classifies that code
+// the same way no matter which service produced it. A service-semantic
+// failure (blob not-found) rides along as the non-retryable control.
+func TestFaultTaxonomyUniformAcrossServices(t *testing.T) {
+	var qref *queuesvc.Queue
+	type svcCase struct {
+		name string
+		// run performs one op on a cloud configured with the case's faults.
+		run func(c *azure.Cloud, p *sim.Proc) error
+	}
+	services := []svcCase{
+		{"blob", func(c *azure.Cloud, p *sim.Proc) error {
+			_, err := c.Blob.NewSession(0).Get(p, "d", "b")
+			return err
+		}},
+		{"table", func(c *azure.Cloud, p *sim.Proc) error {
+			return c.Table.Insert(p, "t", tablesvc.PaddedEntity("pk", "rk", 256))
+		}},
+		{"queue", func(c *azure.Cloud, p *sim.Proc) error {
+			_, err := c.Queue.Add(p, qref, "m", 64)
+			return err
+		}},
+		{"sql", func(c *azure.Cloud, p *sim.Proc) error {
+			conn, err := c.SQL.Open(p, "db", 0)
+			if err == nil {
+				conn.Close()
+			}
+			return err
+		}},
+	}
+	cases := []struct {
+		name      string
+		faults    reqpath.FaultConfig
+		code      storerr.Code
+		retryable bool
+		// only restricts the case to services whose request path includes
+		// the stage (read/corrupt are download stages: blob only).
+		only string
+	}{
+		{"conn-fail", reqpath.FaultConfig{ConnFailProb: 1}, storerr.CodeConnection, true, ""},
+		{"server-busy", reqpath.FaultConfig{ServerBusyProb: 1}, storerr.CodeServerBusy, true, ""},
+		{"read-fail", reqpath.FaultConfig{ReadFailProb: 1}, storerr.CodeTimeout, true, "blob"},
+		{"corrupt-read", reqpath.FaultConfig{CorruptReadProb: 1}, storerr.CodeCorruptRead, true, "blob"},
+		{"not-found", reqpath.FaultConfig{}, storerr.CodeNotFound, false, "blob"},
+	}
+	for _, tc := range cases {
+		for _, svc := range services {
+			if tc.only != "" && tc.only != svc.name {
+				continue
+			}
+			t.Run(tc.name+"/"+svc.name, func(t *testing.T) {
+				cfg := azure.Config{Seed: 9, Faults: tc.faults}
+				c := azure.NewCloud(cfg)
+				if tc.code != storerr.CodeNotFound {
+					c.Blob.Seed("d", "b", 512)
+				}
+				c.Table.CreateTable("t")
+				qref = c.Queue.CreateQueue("q")
+				c.SQL.CreateDatabase("db", 0)
+				c.Engine.Spawn("op", func(p *sim.Proc) {
+					err := svc.run(c, p)
+					if !storerr.IsCode(err, tc.code) {
+						t.Errorf("%s under %s: got %v, want code %s", svc.name, tc.name, err, tc.code)
+						return
+					}
+					if got := storerr.IsRetryable(err); got != tc.retryable {
+						t.Errorf("%s %s: IsRetryable = %v, want %v", svc.name, tc.name, got, tc.retryable)
+					}
+					// The RetryPolicy must act on that classification: a
+					// retryable fault burns every attempt, a fatal one stops
+					// at the first.
+					rp := azure.RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond, Multiplier: 1}
+					attempts := 0
+					rp.Do(p, func() error {
+						attempts++
+						return svc.run(c, p)
+					})
+					want := 1
+					if tc.retryable {
+						want = 3
+					}
+					if attempts != want {
+						t.Errorf("%s %s: RetryPolicy made %d attempts, want %d", svc.name, tc.name, attempts, want)
+					}
+				})
+				c.Engine.Run()
+			})
+		}
+	}
+}

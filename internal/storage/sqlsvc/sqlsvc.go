@@ -20,6 +20,7 @@ import (
 	"azureobs/internal/netsim"
 	"azureobs/internal/sim"
 	"azureobs/internal/simrand"
+	"azureobs/internal/storage/reqpath"
 	"azureobs/internal/storage/station"
 	"azureobs/internal/storage/storerr"
 )
@@ -59,6 +60,10 @@ type Config struct {
 	ScanSecPerRow float64
 	// ClientBW converts payloads to transfer time.
 	ClientBW netsim.Bandwidth
+
+	// Fault injection (default 0; the ModisAzure campaign raises them).
+	ConnFailProb   float64
+	ServerBusyProb float64
 }
 
 // DefaultConfig returns era-plausible parameters (documented as
@@ -104,6 +109,7 @@ func (d *Database) Connections() int { return d.conns }
 type Service struct {
 	cfg Config
 	rng *simrand.RNG
+	pl  *reqpath.Pipeline
 
 	insert, sel, update, del *station.Station
 
@@ -138,8 +144,17 @@ func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
 	}
 	r := rng.Fork("sqlsvc")
 	return &Service{
-		cfg:    cfg,
-		rng:    r,
+		cfg: cfg,
+		rng: r,
+		pl: reqpath.New(r, reqpath.Config{
+			Service: "sql",
+			Faults: reqpath.FaultConfig{
+				ConnFailProb:   cfg.ConnFailProb,
+				ServerBusyProb: cfg.ServerBusyProb,
+			},
+			UploadBW:   cfg.ClientBW,
+			DownloadBW: cfg.ClientBW,
+		}),
 		insert: station.New(cfg.Insert, r.Fork("insert")),
 		sel:    station.New(cfg.Select, r.Fork("select")),
 		update: station.New(cfg.Update, r.Fork("update")),
@@ -147,6 +162,9 @@ func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
 		dbs:    make(map[string]*Database),
 	}
 }
+
+// Pipeline exposes the service's request pipeline for hook installation.
+func (s *Service) Pipeline() *reqpath.Pipeline { return s.pl }
 
 // Throttled returns how many connection attempts were rejected.
 func (s *Service) Throttled() uint64 { return s.throttled }
@@ -179,21 +197,30 @@ type Conn struct {
 	closed bool
 }
 
+// handshake is the TDS connection-establishment latency.
+var handshake = simrand.LogNormalMeanCV(0.025, 0.3)
+
 // Open establishes a connection, spending a handshake latency. It fails
 // with ServerBusy when the database's connection cap is reached.
-func (s *Service) Open(p *sim.Proc, dbName string, id int) (*Conn, error) {
-	const op = "sql.Open"
-	db, ok := s.dbs[dbName]
-	if !ok {
-		return nil, storerr.Newf(storerr.CodeNotFound, op, "database %s", dbName)
+func (s *Service) Open(p *sim.Proc, dbName string, id int) (conn *Conn, err error) {
+	err = s.pl.Do(p, "sql.Open", func(c *reqpath.Ctx) error {
+		db, ok := s.dbs[dbName]
+		if !ok {
+			return c.Failf(storerr.CodeNotFound, "database %s", dbName)
+		}
+		c.P.Sleep(c.Sample(handshake))
+		if db.conns >= s.cfg.MaxConnections {
+			s.throttled++
+			return c.Failf(storerr.CodeServerBusy, "connection limit %d reached", s.cfg.MaxConnections)
+		}
+		db.conns++
+		conn = &Conn{svc: s, db: db, id: id}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	p.Sleep(simrand.Duration(simrand.LogNormalMeanCV(0.025, 0.3), s.rng))
-	if db.conns >= s.cfg.MaxConnections {
-		s.throttled++
-		return nil, storerr.Newf(storerr.CodeServerBusy, op, "connection limit %d reached", s.cfg.MaxConnections)
-	}
-	db.conns++
-	return &Conn{svc: s, db: db, id: id}, nil
+	return conn, nil
 }
 
 // Close releases the connection. Closing twice is a no-op.
@@ -219,52 +246,57 @@ func (c *Conn) table(op, table string) (map[string]*Row, error) {
 	return tbl, nil
 }
 
-func (c *Conn) payload(size int) time.Duration {
-	return time.Duration(float64(size) / float64(c.svc.cfg.ClientBW) * float64(time.Second))
-}
-
 // Insert adds a row; duplicate keys conflict; exceeding the edition cap
 // fails with ServerBusy-class pressure (SQL Azure returned error 40544).
 func (c *Conn) Insert(p *sim.Proc, table, key string, size int) error {
 	const op = "sql.Insert"
-	if err := c.check(op); err != nil {
-		return err
-	}
-	tbl, err := c.table(op, table)
-	if err != nil {
-		return err
-	}
-	c.svc.insert.Visit(p, c.payload(size))
-	if _, exists := tbl[key]; exists {
-		return storerr.Newf(storerr.CodeConflict, op, "duplicate key %s", key)
-	}
-	if c.db.bytes+int64(size) > c.db.Edition.SizeCap() {
-		return storerr.Newf(storerr.CodeServerBusy, op,
-			"database full: %s edition caps at %d bytes", c.db.Edition, c.db.Edition.SizeCap())
-	}
-	tbl[key] = &Row{Key: key, Size: size, Version: 1}
-	c.db.bytes += int64(size)
-	return nil
+	return c.svc.pl.Do(p, op, func(rc *reqpath.Ctx) error {
+		if err := c.check(op); err != nil {
+			return err
+		}
+		tbl, err := c.table(op, table)
+		if err != nil {
+			return err
+		}
+		rc.Station(c.svc.insert, rc.UploadCost(size))
+		if _, exists := tbl[key]; exists {
+			return rc.Failf(storerr.CodeConflict, "duplicate key %s", key)
+		}
+		if c.db.bytes+int64(size) > c.db.Edition.SizeCap() {
+			return rc.Failf(storerr.CodeServerBusy,
+				"database full: %s edition caps at %d bytes", c.db.Edition, c.db.Edition.SizeCap())
+		}
+		tbl[key] = &Row{Key: key, Size: size, Version: 1}
+		c.db.bytes += int64(size)
+		return nil
+	})
 }
 
 // Select fetches one row by primary key.
-func (c *Conn) Select(p *sim.Proc, table, key string) (*Row, error) {
+func (c *Conn) Select(p *sim.Proc, table, key string) (row *Row, err error) {
 	const op = "sql.Select"
-	if err := c.check(op); err != nil {
-		return nil, err
-	}
-	tbl, err := c.table(op, table)
+	err = c.svc.pl.Do(p, op, func(rc *reqpath.Ctx) error {
+		if err := c.check(op); err != nil {
+			return err
+		}
+		tbl, err := c.table(op, table)
+		if err != nil {
+			return err
+		}
+		r, ok := tbl[key]
+		respSize := 0
+		if ok {
+			respSize = r.Size
+		}
+		rc.Station(c.svc.sel, rc.DownloadCost(respSize))
+		if !ok {
+			return rc.Failf(storerr.CodeNotFound, "key %s", key)
+		}
+		row = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	row, ok := tbl[key]
-	respSize := 0
-	if ok {
-		respSize = row.Size
-	}
-	c.svc.sel.Visit(p, c.payload(respSize))
-	if !ok {
-		return nil, storerr.Newf(storerr.CodeNotFound, op, "key %s", key)
 	}
 	return row, nil
 }
@@ -272,72 +304,81 @@ func (c *Conn) Select(p *sim.Proc, table, key string) (*Row, error) {
 // SelectRange scans keys in [lo, hi) in key order, pricing the scan by row
 // count — the indexed range query a relational tier offers that table
 // storage (keys-only) cannot.
-func (c *Conn) SelectRange(p *sim.Proc, table, lo, hi string) ([]*Row, error) {
+func (c *Conn) SelectRange(p *sim.Proc, table, lo, hi string) (out []*Row, err error) {
 	const op = "sql.SelectRange"
-	if err := c.check(op); err != nil {
-		return nil, err
-	}
-	tbl, err := c.table(op, table)
+	err = c.svc.pl.Do(p, op, func(rc *reqpath.Ctx) error {
+		if err := c.check(op); err != nil {
+			return err
+		}
+		tbl, err := c.table(op, table)
+		if err != nil {
+			return err
+		}
+		var bytes int
+		for k, r := range tbl {
+			if k >= lo && k < hi {
+				out = append(out, r)
+				bytes += r.Size
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		scan := time.Duration(float64(len(tbl)) * c.svc.cfg.ScanSecPerRow * float64(time.Second))
+		rc.Station(c.svc.sel, scan+rc.DownloadCost(bytes))
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	var out []*Row
-	var bytes int
-	for k, r := range tbl {
-		if k >= lo && k < hi {
-			out = append(out, r)
-			bytes += r.Size
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	scan := time.Duration(float64(len(tbl)) * c.svc.cfg.ScanSecPerRow * float64(time.Second))
-	c.svc.sel.Visit(p, scan+c.payload(bytes))
 	return out, nil
 }
 
 // Update rewrites a row's payload.
 func (c *Conn) Update(p *sim.Proc, table, key string, size int) error {
 	const op = "sql.Update"
-	if err := c.check(op); err != nil {
-		return err
-	}
-	tbl, err := c.table(op, table)
-	if err != nil {
-		return err
-	}
-	c.svc.update.Visit(p, c.payload(size))
-	row, ok := tbl[key]
-	if !ok {
-		return storerr.Newf(storerr.CodeNotFound, op, "key %s", key)
-	}
-	c.db.bytes += int64(size) - int64(row.Size)
-	if c.db.bytes > c.db.Edition.SizeCap() {
-		c.db.bytes -= int64(size) - int64(row.Size)
-		return storerr.Newf(storerr.CodeServerBusy, op, "database full")
-	}
-	row.Size = size
-	row.Version++
-	return nil
+	return c.svc.pl.Do(p, op, func(rc *reqpath.Ctx) error {
+		if err := c.check(op); err != nil {
+			return err
+		}
+		tbl, err := c.table(op, table)
+		if err != nil {
+			return err
+		}
+		rc.Station(c.svc.update, rc.UploadCost(size))
+		row, ok := tbl[key]
+		if !ok {
+			return rc.Failf(storerr.CodeNotFound, "key %s", key)
+		}
+		c.db.bytes += int64(size) - int64(row.Size)
+		if c.db.bytes > c.db.Edition.SizeCap() {
+			c.db.bytes -= int64(size) - int64(row.Size)
+			return rc.Failf(storerr.CodeServerBusy, "database full")
+		}
+		row.Size = size
+		row.Version++
+		return nil
+	})
 }
 
 // Delete removes a row.
 func (c *Conn) Delete(p *sim.Proc, table, key string) error {
 	const op = "sql.Delete"
-	if err := c.check(op); err != nil {
-		return err
-	}
-	tbl, err := c.table(op, table)
-	if err != nil {
-		return err
-	}
-	c.svc.del.Visit(p, 0)
-	row, ok := tbl[key]
-	if !ok {
-		return storerr.Newf(storerr.CodeNotFound, op, "key %s", key)
-	}
-	delete(tbl, key)
-	c.db.bytes -= int64(row.Size)
-	return nil
+	return c.svc.pl.Do(p, op, func(rc *reqpath.Ctx) error {
+		if err := c.check(op); err != nil {
+			return err
+		}
+		tbl, err := c.table(op, table)
+		if err != nil {
+			return err
+		}
+		rc.Station(c.svc.del, 0)
+		row, ok := tbl[key]
+		if !ok {
+			return rc.Failf(storerr.CodeNotFound, "key %s", key)
+		}
+		delete(tbl, key)
+		c.db.bytes -= int64(row.Size)
+		return nil
+	})
 }
 
 // Seed inserts a row instantly (setup helper).

@@ -2,6 +2,7 @@ package sqlsvc
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -245,4 +246,49 @@ func TestLatencyGrowsWithConcurrency(t *testing.T) {
 	if crowd >= solo {
 		t.Fatalf("per-client insert rate did not degrade: %v vs %v", solo, crowd)
 	}
+}
+
+// TestFaultRatesMatchConfig: the reqpath admission faults added to the SQL
+// service fire at their configured probabilities (5σ binomial tolerance).
+func TestFaultRatesMatchConfig(t *testing.T) {
+	const pConn, pBusy = 0.12, 0.08
+	const n = 4000
+	eng := sim.NewEngine()
+	svc := New(eng, simrand.New(5), Config{ConnFailProb: pConn, ServerBusyProb: pBusy})
+	svc.CreateDatabase("app", 0)
+	svc.Seed("app", "t", "k", 256)
+	var connFail, busy int
+	eng.Spawn("c", func(p *sim.Proc) {
+		// Open is itself under fault injection; retry until a session sticks.
+		var conn *Conn
+		for conn == nil {
+			var err error
+			conn, err = svc.Open(p, "app", 0)
+			if err != nil && !storerr.IsRetryable(err) {
+				t.Errorf("Open: %v", err)
+				return
+			}
+		}
+		for i := 0; i < n; i++ {
+			_, err := conn.Select(p, "t", "k")
+			switch {
+			case err == nil:
+			case storerr.IsCode(err, storerr.CodeConnection):
+				connFail++
+			case storerr.IsCode(err, storerr.CodeServerBusy):
+				busy++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}
+	})
+	eng.Run()
+	check := func(name string, got int, want float64) {
+		sigma := math.Sqrt(want * (1 - want) / n)
+		if rate := float64(got) / n; math.Abs(rate-want) > 5*sigma {
+			t.Errorf("%s rate %.4f, want %.3f (±%.4f)", name, rate, want, 5*sigma)
+		}
+	}
+	check("conn-fail", connFail, pConn)
+	check("server-busy", busy, pBusy*(1-pConn))
 }

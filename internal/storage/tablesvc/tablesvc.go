@@ -20,6 +20,7 @@ import (
 	"azureobs/internal/netsim"
 	"azureobs/internal/sim"
 	"azureobs/internal/simrand"
+	"azureobs/internal/storage/reqpath"
 	"azureobs/internal/storage/station"
 	"azureobs/internal/storage/storerr"
 )
@@ -119,6 +120,10 @@ type Config struct {
 	// added to each op.
 	ClientWriteBW netsim.Bandwidth
 	ClientReadBW  netsim.Bandwidth
+
+	// Fault injection (default 0; the ModisAzure campaign raises them).
+	ConnFailProb   float64
+	ServerBusyProb float64
 }
 
 // DefaultConfig returns the Fig. 2 calibration.
@@ -147,6 +152,7 @@ func DefaultConfig() Config {
 type Service struct {
 	cfg Config
 	rng *simrand.RNG
+	pl  *reqpath.Pipeline
 
 	insert, query, update, delete *station.Station
 
@@ -197,8 +203,18 @@ func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
 	}
 	r := rng.Fork("tablesvc")
 	return &Service{
-		cfg:    cfg,
-		rng:    r,
+		cfg: cfg,
+		rng: r,
+		pl: reqpath.New(r, reqpath.Config{
+			Service: "table",
+			Faults: reqpath.FaultConfig{
+				ConnFailProb:   cfg.ConnFailProb,
+				ServerBusyProb: cfg.ServerBusyProb,
+			},
+			UploadBW:      cfg.ClientWriteBW,
+			DownloadBW:    cfg.ClientReadBW,
+			ServerTimeout: cfg.ServerTimeout,
+		}),
 		insert: station.New(cfg.Insert, r.Fork("insert")),
 		query:  station.New(cfg.Query, r.Fork("query")),
 		update: station.New(cfg.Update, r.Fork("update")),
@@ -206,6 +222,9 @@ func New(eng *sim.Engine, rng *simrand.RNG, cfg Config) *Service {
 		tables: make(map[string]map[string]map[string]*Entity),
 	}
 }
+
+// Pipeline exposes the service's request pipeline for hook installation.
+func (s *Service) Pipeline() *reqpath.Pipeline { return s.pl }
 
 // Timeouts returns the count of server-side timeout responses issued.
 func (s *Service) Timeouts() uint64 { return s.timeouts }
@@ -243,20 +262,11 @@ func (s *Service) partition(table, pk string) map[string]*Entity {
 	return p
 }
 
-// writeTime converts a payload into client-upstream transfer time.
-func (s *Service) writeTime(size int) time.Duration {
-	return time.Duration(float64(size) / float64(s.cfg.ClientWriteBW) * float64(time.Second))
-}
-
-func (s *Service) readTime(size int) time.Duration {
-	return time.Duration(float64(size) / float64(s.cfg.ClientReadBW) * float64(time.Second))
-}
-
 // overloaded applies the ingest-overload timeout model for write-class ops:
 // with n concurrent clients pushing size-byte payloads at the station's mean
 // rate, per-op timeout probability is OverloadK·(1−1/ρ) once offered load ρ
-// exceeds 1.
-func (s *Service) overloaded(p *sim.Proc, st *station.Station, size int, op string) error {
+// exceeds 1. The timeout draw and burn run on the pipeline's timeout stage.
+func (s *Service) overloaded(c *reqpath.Ctx, st *station.Station, size int) error {
 	n := st.Attached()
 	if n < 1 {
 		n = 1
@@ -266,119 +276,130 @@ func (s *Service) overloaded(p *sim.Proc, st *station.Station, size int, op stri
 	if rho <= 1 {
 		return nil
 	}
-	if s.rng.Hit(s.cfg.OverloadK * (1 - 1/rho)) {
-		p.Sleep(s.cfg.ServerTimeout)
+	if err := c.TimeoutFault(s.cfg.OverloadK*(1-1/rho), "partition ingest overloaded (rho=%.2f)", rho); err != nil {
 		s.timeouts++
-		return storerr.Newf(storerr.CodeTimeout, op, "partition ingest overloaded (rho=%.2f)", rho)
+		return err
 	}
 	return nil
 }
 
 // Insert adds a new entity; inserting an existing (pk, rk) is a conflict.
 func (s *Service) Insert(p *sim.Proc, table string, e *Entity) error {
-	const op = "table.Insert"
-	part := s.partition(table, e.PartitionKey)
-	if part == nil {
-		return storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
-	}
-	if err := s.overloaded(p, s.insert, e.Size(), op); err != nil {
-		return err
-	}
-	s.insert.Visit(p, s.writeTime(e.Size()))
-	if _, exists := part[e.RowKey]; exists {
-		return storerr.Newf(storerr.CodeConflict, op, "%s/%s exists", e.PartitionKey, e.RowKey)
-	}
-	part[e.RowKey] = e
-	return nil
+	return s.pl.Do(p, "table.Insert", func(c *reqpath.Ctx) error {
+		part := s.partition(table, e.PartitionKey)
+		if part == nil {
+			return c.Failf(storerr.CodeNotFound, "table %s", table)
+		}
+		if err := s.overloaded(c, s.insert, e.Size()); err != nil {
+			return err
+		}
+		c.Station(s.insert, c.UploadCost(e.Size()))
+		if _, exists := part[e.RowKey]; exists {
+			return c.Failf(storerr.CodeConflict, "%s/%s exists", e.PartitionKey, e.RowKey)
+		}
+		part[e.RowKey] = e
+		return nil
+	})
 }
 
 // Get retrieves one entity by partition and row key — the fast, indexed
 // query path of the paper's Query experiment.
-func (s *Service) Get(p *sim.Proc, table, pk, rk string) (*Entity, error) {
-	const op = "table.Query"
-	part := s.partition(table, pk)
-	if part == nil {
-		return nil, storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
+func (s *Service) Get(p *sim.Proc, table, pk, rk string) (ent *Entity, err error) {
+	err = s.pl.Do(p, "table.Query", func(c *reqpath.Ctx) error {
+		part := s.partition(table, pk)
+		if part == nil {
+			return c.Failf(storerr.CodeNotFound, "table %s", table)
+		}
+		e, ok := part[rk]
+		var respSize int
+		if ok {
+			respSize = e.Size()
+		}
+		c.Station(s.query, c.DownloadCost(respSize))
+		if !ok {
+			return c.Failf(storerr.CodeNotFound, "%s/%s", pk, rk)
+		}
+		ent = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	e, ok := part[rk]
-	var respSize int
-	if ok {
-		respSize = e.Size()
-	}
-	s.query.Visit(p, s.readTime(respSize))
-	if !ok {
-		return nil, storerr.Newf(storerr.CodeNotFound, op, "%s/%s", pk, rk)
-	}
-	return e, nil
+	return ent, nil
 }
 
 // Update replaces an entity's properties unconditionally (no ETag check) —
 // the mode the paper tested so concurrent clients can hit one entity.
 func (s *Service) Update(p *sim.Proc, table string, e *Entity) error {
-	const op = "table.Update"
-	part := s.partition(table, e.PartitionKey)
-	if part == nil {
-		return storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
-	}
-	s.update.Visit(p, s.writeTime(e.Size()))
-	if _, ok := part[e.RowKey]; !ok {
-		return storerr.Newf(storerr.CodeNotFound, op, "%s/%s", e.PartitionKey, e.RowKey)
-	}
-	part[e.RowKey] = e
-	return nil
+	return s.pl.Do(p, "table.Update", func(c *reqpath.Ctx) error {
+		part := s.partition(table, e.PartitionKey)
+		if part == nil {
+			return c.Failf(storerr.CodeNotFound, "table %s", table)
+		}
+		c.Station(s.update, c.UploadCost(e.Size()))
+		if _, ok := part[e.RowKey]; !ok {
+			return c.Failf(storerr.CodeNotFound, "%s/%s", e.PartitionKey, e.RowKey)
+		}
+		part[e.RowKey] = e
+		return nil
+	})
 }
 
 // Delete removes one entity.
 func (s *Service) Delete(p *sim.Proc, table, pk, rk string) error {
-	const op = "table.Delete"
-	part := s.partition(table, pk)
-	if part == nil {
-		return storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
-	}
-	e, ok := part[rk]
-	size := 0
-	if ok {
-		size = e.Size()
-	}
-	if err := s.overloaded(p, s.delete, size, op); err != nil {
-		return err
-	}
-	s.delete.Visit(p, 0)
-	if !ok {
-		return storerr.Newf(storerr.CodeNotFound, op, "%s/%s", pk, rk)
-	}
-	delete(part, rk)
-	return nil
+	return s.pl.Do(p, "table.Delete", func(c *reqpath.Ctx) error {
+		part := s.partition(table, pk)
+		if part == nil {
+			return c.Failf(storerr.CodeNotFound, "table %s", table)
+		}
+		e, ok := part[rk]
+		size := 0
+		if ok {
+			size = e.Size()
+		}
+		if err := s.overloaded(c, s.delete, size); err != nil {
+			return err
+		}
+		c.Station(s.delete, 0)
+		if !ok {
+			return c.Failf(storerr.CodeNotFound, "%s/%s", pk, rk)
+		}
+		delete(part, rk)
+		return nil
+	})
 }
 
 // QueryFilter scans a partition evaluating pred on every entity — the
 // non-indexed property-filter query the paper warns against (Section 6.1):
 // scan latency grows with partition size and concurrent scanners, and
 // requests exceeding the server timeout fail.
-func (s *Service) QueryFilter(p *sim.Proc, table, pk string, pred func(*Entity) bool) ([]*Entity, error) {
-	const op = "table.QueryFilter"
-	part := s.partition(table, pk)
-	if part == nil {
-		return nil, storerr.Newf(storerr.CodeNotFound, op, "table %s", table)
-	}
-	s.scans++
-	defer func() { s.scans-- }()
-	// Let simultaneously issued scans register before the cost is priced:
-	// a burst of filter queries slows every member of the burst.
-	p.Yield()
-	mean := float64(len(part)) * s.cfg.ScanSecPerEntity * (1 + float64(s.scans)/s.cfg.ScanConcurrencyN0)
-	lat := simrand.Duration(simrand.LogNormalMeanCV(mean, s.cfg.ScanCV), s.rng)
-	if lat > s.cfg.ServerTimeout {
-		p.Sleep(s.cfg.ServerTimeout)
-		s.timeouts++
-		return nil, storerr.Newf(storerr.CodeTimeout, op, "scan of %d entities timed out", len(part))
-	}
-	p.Sleep(lat)
-	var out []*Entity
-	for _, e := range part {
-		if pred(e) {
-			out = append(out, e)
+func (s *Service) QueryFilter(p *sim.Proc, table, pk string, pred func(*Entity) bool) (out []*Entity, err error) {
+	err = s.pl.Do(p, "table.QueryFilter", func(c *reqpath.Ctx) error {
+		part := s.partition(table, pk)
+		if part == nil {
+			return c.Failf(storerr.CodeNotFound, "table %s", table)
 		}
+		s.scans++
+		defer func() { s.scans-- }()
+		// Let simultaneously issued scans register before the cost is priced:
+		// a burst of filter queries slows every member of the burst.
+		c.P.Yield()
+		mean := float64(len(part)) * s.cfg.ScanSecPerEntity * (1 + float64(s.scans)/s.cfg.ScanConcurrencyN0)
+		lat := c.Sample(simrand.LogNormalMeanCV(mean, s.cfg.ScanCV))
+		if lat > s.cfg.ServerTimeout {
+			s.timeouts++
+			return c.Timeout("scan of %d entities timed out", len(part))
+		}
+		c.P.Sleep(lat)
+		for _, e := range part {
+			if pred(e) {
+				out = append(out, e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
