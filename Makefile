@@ -1,7 +1,7 @@
 # Pre-merge gate: `make check` must pass before any merge. It builds
 # everything, vets, runs the full test suite under the race detector, and
 # smoke-runs every benchmark once so the bench harness can never rot.
-.PHONY: check build vet test bench-smoke bench netbench storagebench
+.PHONY: check build vet test bench-smoke bench netbench storagebench schedbench validate
 
 check: build vet test bench-smoke
 
@@ -28,3 +28,12 @@ netbench:
 
 storagebench:
 	go run ./cmd/azbench -run storagebench
+
+schedbench:
+	go run ./cmd/azbench -run schedbench
+
+# Anchor self-check at validation scale; -workers 4 exercises the parallel
+# scheduler path against the same tolerances.
+validate:
+	go run ./cmd/azvalidate
+	go run ./cmd/azvalidate -workers 4

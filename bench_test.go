@@ -23,7 +23,8 @@ func BenchmarkFig1BlobBandwidth(b *testing.B) {
 	var down1, down32, aggPeak float64
 	for i := 0; i < b.N; i++ {
 		r := core.RunFig1(core.Fig1Config{
-			Seed: 42, Clients: []int{1, 32, 128}, BlobMB: 64, Runs: 1,
+			Proto:  core.Proto{Seed: 42, Clients: []int{1, 32, 128}, Runs: 1},
+			BlobMB: 64,
 		})
 		down1 = r.Points[0].DownMBps
 		down32 = r.Points[1].DownMBps
@@ -40,8 +41,9 @@ func BenchmarkFig2Table(b *testing.B) {
 	var insert1, update8Agg float64
 	for i := 0; i < b.N; i++ {
 		r := core.RunFig2(core.Fig2Config{
-			Seed: 42, Clients: []int{1, 8, 64}, EntitySize: 4096,
-			Inserts: 50, Queries: 50, Updates: 25,
+			Proto:      core.Proto{Seed: 42, Clients: []int{1, 8, 64}},
+			EntitySize: 4096,
+			Inserts:    50, Queries: 50, Updates: 25,
 		})
 		insert1 = r.Points[0].InsertOps
 		update8Agg = r.Points[1].UpdateOps * 8
@@ -56,8 +58,9 @@ func BenchmarkFig2Overload64k(b *testing.B) {
 	var survivors float64
 	for i := 0; i < b.N; i++ {
 		r := core.RunFig2(core.Fig2Config{
-			Seed: 42, Clients: []int{128}, EntitySize: 65536,
-			Inserts: 500, Queries: 1, Updates: 1,
+			Proto:      core.Proto{Seed: 42, Clients: []int{128}},
+			EntitySize: 65536,
+			Inserts:    500, Queries: 1, Updates: 1,
 		})
 		survivors = float64(r.Points[0].InsertSurvivors)
 	}
@@ -70,7 +73,8 @@ func BenchmarkFig3Queue(b *testing.B) {
 	var addAgg64, peekAgg192 float64
 	for i := 0; i < b.N; i++ {
 		r := core.RunFig3(core.Fig3Config{
-			Seed: 42, Clients: []int{64, 192}, MsgSize: 512, OpsEach: 40,
+			Proto:   core.Proto{Seed: 42, Clients: []int{64, 192}},
+			MsgSize: 512, OpsEach: 40,
 		})
 		addAgg64 = r.Points[0].AggAdd()
 		peekAgg192 = r.Points[1].AggPeek()
@@ -84,7 +88,9 @@ func BenchmarkFig3Queue(b *testing.B) {
 func BenchmarkQueueDepthInvariance(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := core.RunQueueDepth(42, 20000, 200000)
+		r := core.RunQueueDepth(core.QueueDepthConfig{
+			Proto: core.Proto{Seed: 42}, SmallDepth: 20000, LargeDepth: 200000,
+		})
 		ratio = r.LargeRate / r.SmallRate
 	}
 	b.ReportMetric(ratio, "large/small_rate")
@@ -95,7 +101,7 @@ func BenchmarkQueueDepthInvariance(b *testing.B) {
 func BenchmarkTable1VMLifecycle(b *testing.B) {
 	var runMean, addMean float64
 	for i := 0; i < b.N; i++ {
-		r := core.RunTable1(core.Table1Config{Seed: 42, Runs: 64})
+		r := core.RunTable1(core.Table1Config{Proto: core.Proto{Seed: 42, Runs: 64}})
 		runMean = r.Cell(fabric.Worker, fabric.Small, "Run").Mean()
 		addMean = r.Cell(fabric.Worker, fabric.Small, "Add").Mean()
 	}
@@ -108,7 +114,7 @@ func BenchmarkTable1VMLifecycle(b *testing.B) {
 func BenchmarkFig4TCPLatency(b *testing.B) {
 	var p1ms float64
 	for i := 0; i < b.N; i++ {
-		r := core.RunTCP(core.TCPConfig{Seed: 42, LatencySamples: 5000, BandwidthPairs: 1, TransfersPer: 1})
+		r := core.RunTCP(core.TCPConfig{Proto: core.Proto{Seed: 42}, LatencySamples: 5000, BandwidthPairs: 1, TransfersPer: 1})
 		p1ms = r.LatencyMS.FracLE(1) * 100
 	}
 	b.ReportMetric(p1ms, "P(≤1ms)_%")
@@ -119,7 +125,7 @@ func BenchmarkFig4TCPLatency(b *testing.B) {
 func BenchmarkFig5TCPBandwidth(b *testing.B) {
 	var p90 float64
 	for i := 0; i < b.N; i++ {
-		r := core.RunTCP(core.TCPConfig{Seed: 42, LatencySamples: 5, BandwidthPairs: 80, TransfersPer: 3})
+		r := core.RunTCP(core.TCPConfig{Proto: core.Proto{Seed: 42}, LatencySamples: 5, BandwidthPairs: 80, TransfersPer: 3})
 		p90 = (1 - r.BandwidthMBps.FracLE(90)) * 100
 	}
 	b.ReportMetric(p90, "P(≥90MB/s)_%")
@@ -168,7 +174,8 @@ func BenchmarkPropFilterAblation(b *testing.B) {
 	var timeoutShare float64
 	for i := 0; i < b.N; i++ {
 		r := core.RunPropFilter(core.PropFilterConfig{
-			Seed: 42, Entities: 220000, Clients: []int{32},
+			Proto:    core.Proto{Seed: 42, Clients: []int{32}},
+			Entities: 220000,
 		})
 		timeoutShare = float64(r.Points[0].Timeouts) / float64(r.Points[0].Queries) * 100
 	}
@@ -183,7 +190,10 @@ func BenchmarkPropFilterAblation(b *testing.B) {
 func BenchmarkAblationCapacityProfile(b *testing.B) {
 	var calibrated, naive float64
 	for i := 0; i < b.N; i++ {
-		r := core.RunFig1(core.Fig1Config{Seed: 42, Clients: []int{32}, BlobMB: 64, Runs: 1, SkipUpload: true})
+		r := core.RunFig1(core.Fig1Config{
+			Proto:  core.Proto{Seed: 42, Clients: []int{32}, Runs: 1},
+			BlobMB: 64, SkipUpload: true,
+		})
 		calibrated = r.Points[0].DownMBps
 		// Naive: per-client = min(NIC, 400/n) at n=32 → NIC-bound 12.5-13.
 		naive = 400.0 / 32
@@ -211,7 +221,7 @@ func BenchmarkAblationKillMultiple(b *testing.B) {
 				DurLo: 6 * time.Hour, DurHi: 18 * time.Hour,
 			},
 		}
-		pts := modis.RunKillAblation(base, []float64{2, 4})
+		pts := modis.RunKillAblation(base, []float64{2, 4}, 1)
 		if pts[0].Timeouts > 0 {
 			tightWaste = pts[0].WastedHours / float64(pts[0].Timeouts)
 		}
@@ -230,7 +240,8 @@ func BenchmarkSQLCompare(b *testing.B) {
 	var sqlSel, tblQry, throttled float64
 	for i := 0; i < b.N; i++ {
 		r := core.RunSQLCompare(core.SQLCompareConfig{
-			Seed: 42, Clients: []int{128}, OpsEach: 40,
+			Proto:   core.Proto{Seed: 42, Clients: []int{128}},
+			OpsEach: 40,
 		})
 		sqlSel = r.Points[0].SQLSelectOps
 		tblQry = r.Points[0].TableQueryOps
@@ -248,7 +259,8 @@ func BenchmarkAblationBlobReplication(b *testing.B) {
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		r := core.RunReplication(core.ReplicationConfig{
-			Seed: 42, Clients: 64, BlobMB: 64, Replicas: []int{1, 4},
+			Proto:   core.Proto{Seed: 42},
+			Clients: 64, BlobMB: 64, Replicas: []int{1, 4},
 		})
 		speedup = r.Points[1].SpeedupVsOne
 	}

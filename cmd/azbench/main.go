@@ -3,11 +3,13 @@
 // against the simulated cloud: Fig. 1 (blob bandwidth), Fig. 2 (table ops),
 // Fig. 3 (queue ops), Table 1 (VM lifecycle), Figs. 4-5 (inter-VM TCP), the
 // Section 6.1 property-filter ablation, and the queue-depth invariance
-// check.
+// check. Experiments are selected by name from the core registry, so the
+// -run values are exactly core.Names() plus the bench suites.
 //
 // Usage:
 //
 //	azbench -run all            # everything at paper scale
+//	azbench -run all -workers 4 # shard whole experiments over 4 workers
 //	azbench -run fig1 -quick    # one artifact at reduced scale
 //	azbench -run fig2 -entity 65536
 package main
@@ -20,6 +22,7 @@ import (
 	"strings"
 
 	"azureobs/internal/core"
+	"azureobs/internal/core/sched"
 	"azureobs/internal/fabric"
 	"azureobs/internal/metrics"
 	"azureobs/internal/report"
@@ -28,14 +31,15 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "artifact: all|fig1|fig2|fig3|table1|tcp|propfilter|queuedepth|replication|fig2sizes|fig3sizes|netbench|storagebench")
-		seed   = flag.Uint64("seed", 42, "root random seed")
-		quick  = flag.Bool("quick", false, "reduced scale for fast runs")
-		entity = flag.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
-		msg    = flag.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		svgDir = flag.String("svg", "", "also write SVG figures into this directory")
-		bench  = flag.String("benchout", "", "output path for the netbench/storagebench artifact (default BENCH_<suite>.json)")
+		run     = flag.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench")
+		seed    = flag.Uint64("seed", 42, "root random seed")
+		quick   = flag.Bool("quick", false, "reduced scale for fast runs")
+		workers = flag.Int("workers", 1, "scheduler width: independent experiment cells run on this many goroutines (1 = serial; results are bit-identical at any width)")
+		entity  = flag.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
+		msg     = flag.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir  = flag.String("svg", "", "also write SVG figures into this directory")
+		bench   = flag.String("benchout", "", "output path for the netbench/storagebench/schedbench artifact (default BENCH_<suite>.json)")
 	)
 	flag.Parse()
 	if *svgDir != "" {
@@ -47,7 +51,6 @@ func main() {
 	figures = *svgDir
 
 	which := strings.ToLower(*run)
-	ran := false
 	emit := func(t *report.Table) {
 		if *csv {
 			t.CSV(os.Stdout)
@@ -56,76 +59,87 @@ func main() {
 		}
 		fmt.Println()
 	}
-	all := which == "all"
-	if all || which == "fig1" {
-		runFig1(*seed, *quick, emit)
-		ran = true
-	}
-	if all || which == "fig2" {
-		runFig2(*seed, *quick, *entity, emit)
-		ran = true
-	}
-	if all || which == "fig3" {
-		runFig3(*seed, *quick, *msg, emit)
-		ran = true
-	}
-	if all || which == "table1" {
-		runTable1(*seed, *quick, emit)
-		ran = true
-	}
-	if all || which == "tcp" || which == "fig4" || which == "fig5" {
-		runTCP(*seed, *quick, emit)
-		ran = true
-	}
-	if all || which == "propfilter" {
-		runPropFilter(*seed, *quick, emit)
-		ran = true
-	}
-	if all || which == "queuedepth" {
-		runQueueDepth(*seed, *quick, emit)
-		ran = true
-	}
-	if all || which == "replication" {
-		runReplication(*seed, *quick, emit)
-		ran = true
-	}
-	if all || which == "sqlcompare" {
-		runSQLCompare(*seed, *quick, emit)
-		ran = true
-	}
-	if all || which == "startup" {
-		runStartup(*seed, *quick, emit)
-		ran = true
-	}
-	if which == "netbench" {
+
+	// The bench suites are calibration harnesses, not paper artifacts; they
+	// live outside the experiment registry.
+	switch which {
+	case "netbench":
 		out := *bench
 		if out == "" {
 			out = "BENCH_netsim.json"
 		}
 		runNetBench(*seed, *quick, out)
-		ran = true
-	}
-	if which == "storagebench" {
+		return
+	case "storagebench":
 		out := *bench
 		if out == "" {
 			out = "BENCH_storage.json"
 		}
 		runStorageBench(*seed, *quick, out)
-		ran = true
+		return
+	case "schedbench":
+		out := *bench
+		if out == "" {
+			out = "BENCH_sched.json"
+		}
+		runSchedBench(*seed, out)
+		return
 	}
-	if which == "fig2sizes" {
-		runFig2Sizes(*seed, *quick, emit)
-		ran = true
+
+	proto := core.Proto{Seed: *seed, Workers: *workers}
+	if *quick {
+		proto.Scale = core.QuickScale
 	}
-	if which == "fig3sizes" {
-		runFig3Sizes(*seed, *quick, emit)
-		ran = true
+	// The size flags map onto Proto.Size for the experiment they configure.
+	sizeFor := func(name string) int {
+		switch name {
+		case "fig2":
+			return *entity
+		case "fig3":
+			return *msg
+		}
+		return 0
 	}
-	if !ran {
+
+	if which == "all" {
+		// The size sweeps re-run fig2/fig3 four times each; "all" keeps to
+		// the per-figure artifacts, as it always has. With -workers the
+		// whole experiments shard across the pool (each internally serial),
+		// and render order stays the registry order regardless of which
+		// finishes first.
+		var names []string
+		for _, n := range core.Names() {
+			if n != "fig2sizes" && n != "fig3sizes" {
+				names = append(names, n)
+			}
+		}
+		pool := sched.New(*workers)
+		results := sched.Map(pool, len(names), func(i int) core.Result {
+			p := proto
+			p.Workers = 1
+			p.Size = sizeFor(names[i])
+			e, _ := core.Lookup(names[i])
+			return e.Run(p)
+		})
+		for i, n := range names {
+			renderResult(n, results[i], emit)
+		}
+		return
+	}
+
+	name := which
+	if name == "fig4" || name == "fig5" {
+		name = "tcp"
+	}
+	e, ok := core.Lookup(name)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *run)
 		flag.Usage()
 		os.Exit(2)
 	}
+	p := proto
+	p.Size = sizeFor(name)
+	renderResult(name, e.Run(p), emit)
 }
 
 // figures is the SVG output directory ("" = off).
@@ -149,6 +163,9 @@ func writeFigure(name string, p *svgplot.Plot) {
 }
 
 func printAnchors(title string, anchors []core.Anchor) {
+	if len(anchors) == 0 {
+		return
+	}
 	fmt.Printf("%s — paper vs measured:\n", title)
 	for _, a := range anchors {
 		fmt.Printf("  %s\n", a)
@@ -156,15 +173,41 @@ func printAnchors(title string, anchors []core.Anchor) {
 	fmt.Println()
 }
 
-func runFig1(seed uint64, quick bool, emit func(*report.Table)) {
-	cfg := core.DefaultFig1Config()
-	cfg.Seed = seed
-	if quick {
-		cfg.Clients = []int{1, 8, 32, 128}
-		cfg.BlobMB = 128
-		cfg.Runs = 1
+// renderResult dispatches a registry result to its artifact renderer.
+// Unknown result types still get their anchors printed, so a newly
+// registered experiment is runnable by name before it grows a table.
+func renderResult(name string, res core.Result, emit func(*report.Table)) {
+	switch r := res.(type) {
+	case *core.Fig1Result:
+		renderFig1(r, emit)
+	case *core.Fig2Result:
+		renderFig2(r, emit)
+	case *core.Fig3Result:
+		renderFig3(r, emit)
+	case *core.Table1Result:
+		renderTable1(r, emit)
+	case *core.TCPResult:
+		renderTCP(r)
+	case *core.PropFilterResult:
+		renderPropFilter(r, emit)
+	case *core.QueueDepthResult:
+		renderQueueDepth(r, emit)
+	case *core.ReplicationResult:
+		renderReplication(r, emit)
+	case *core.SQLCompareResult:
+		renderSQLCompare(r, emit)
+	case *core.StartupScalingResult:
+		renderStartup(r, emit)
+	case *core.Fig2SizeSweep:
+		renderFig2Sizes(r, emit)
+	case *core.Fig3SizeSweep:
+		renderFig3Sizes(r, emit)
+	default:
+		printAnchors(name, res.Anchors())
 	}
-	r := core.RunFig1(cfg)
+}
+
+func renderFig1(r *core.Fig1Result, emit func(*report.Table)) {
 	t := report.NewTable("Fig 1 — average per-client blob bandwidth vs concurrent clients",
 		"clients", "down MB/s", "down agg MB/s", "up MB/s", "up agg MB/s")
 	for _, p := range r.Points {
@@ -190,15 +233,8 @@ func runFig1(seed uint64, quick bool, emit func(*report.Table)) {
 	writeFigure("fig1.svg", plot)
 }
 
-func runFig2(seed uint64, quick bool, entity int, emit func(*report.Table)) {
-	cfg := core.DefaultFig2Config()
-	cfg.Seed = seed
-	cfg.EntitySize = entity
-	if quick {
-		cfg.Clients = []int{1, 8, 64, 128}
-		cfg.Inserts, cfg.Queries, cfg.Updates = 60, 60, 30
-	}
-	r := core.RunFig2(cfg)
+func renderFig2(r *core.Fig2Result, emit func(*report.Table)) {
+	entity := r.EntitySize
 	t := report.NewTable(
 		fmt.Sprintf("Fig 2 — average per-client table ops/s vs concurrent clients (entity %d B)", entity),
 		"clients", "insert", "query", "update", "delete", "insert-finishers")
@@ -229,15 +265,8 @@ func runFig2(seed uint64, quick bool, entity int, emit func(*report.Table)) {
 	writeFigure("fig2.svg", plot)
 }
 
-func runFig3(seed uint64, quick bool, msg int, emit func(*report.Table)) {
-	cfg := core.DefaultFig3Config()
-	cfg.Seed = seed
-	cfg.MsgSize = msg
-	if quick {
-		cfg.Clients = []int{1, 16, 64, 128, 192}
-		cfg.OpsEach = 40
-	}
-	r := core.RunFig3(cfg)
+func renderFig3(r *core.Fig3Result, emit func(*report.Table)) {
+	msg := r.MsgSize
 	t := report.NewTable(
 		fmt.Sprintf("Fig 3 — average per-client queue ops/s vs concurrent clients (message %d B)", msg),
 		"clients", "add", "peek", "receive", "add agg", "peek agg", "recv agg")
@@ -267,13 +296,7 @@ func runFig3(seed uint64, quick bool, msg int, emit func(*report.Table)) {
 	writeFigure("fig3.svg", plot)
 }
 
-func runTable1(seed uint64, quick bool, emit func(*report.Table)) {
-	cfg := core.DefaultTable1Config()
-	cfg.Seed = seed
-	if quick {
-		cfg.Runs = 80
-	}
-	r := core.RunTable1(cfg)
+func renderTable1(r *core.Table1Result, emit func(*report.Table)) {
 	t := report.NewTable("Table 1 — worker/web role VM request time (seconds)",
 		"role", "size", "stat", "create", "run", "add", "suspend", "delete")
 	for _, role := range []fabric.Role{fabric.Worker, fabric.Web} {
@@ -306,15 +329,7 @@ func runTable1(seed uint64, quick bool, emit func(*report.Table)) {
 	printAnchors("Table 1", r.Anchors())
 }
 
-func runTCP(seed uint64, quick bool, emit func(*report.Table)) {
-	cfg := core.DefaultTCPConfig()
-	cfg.Seed = seed
-	if quick {
-		cfg.LatencySamples = 2000
-		cfg.BandwidthPairs = 50
-		cfg.TransfersPer = 2
-	}
-	r := core.RunTCP(cfg)
+func renderTCP(r *core.TCPResult) {
 	report.CDFPlot(os.Stdout, "Fig 4 — cumulative TCP latency between small VMs", "ms",
 		r.LatencyMS, 60, 12)
 	fmt.Println()
@@ -322,7 +337,6 @@ func runTCP(seed uint64, quick bool, emit func(*report.Table)) {
 		r.BandwidthMBps, 60, 12)
 	fmt.Println()
 	printAnchors("Figs 4-5", r.Anchors())
-	_ = emit
 
 	writeFigure("fig4.svg", cdfFigure("Fig 4 — cumulative TCP latency", "latency (ms)", r.LatencyMS))
 	writeFigure("fig5.svg", cdfFigure("Fig 5 — cumulative TCP bandwidth (2 GB transfers)", "bandwidth (MB/s)", r.BandwidthMBps))
@@ -341,13 +355,7 @@ func cdfFigure(title, xlabel string, s *metrics.Sample) *svgplot.Plot {
 	return plot
 }
 
-func runPropFilter(seed uint64, quick bool, emit func(*report.Table)) {
-	cfg := core.DefaultPropFilterConfig()
-	cfg.Seed = seed
-	if quick {
-		cfg.Entities = 110000
-	}
-	r := core.RunPropFilter(cfg)
+func renderPropFilter(r *core.PropFilterResult, emit func(*report.Table)) {
 	t := report.NewTable(
 		fmt.Sprintf("Section 6.1 — property-filter queries on a %d-entity partition", r.Entities),
 		"clients", "queries", "timeouts", "mean latency (s)")
@@ -359,13 +367,7 @@ func runPropFilter(seed uint64, quick bool, emit func(*report.Table)) {
 	printAnchors("Property-filter ablation", r.Anchors())
 }
 
-func runReplication(seed uint64, quick bool, emit func(*report.Table)) {
-	cfg := core.DefaultReplicationConfig()
-	cfg.Seed = seed
-	if quick {
-		cfg.Clients, cfg.BlobMB = 64, 64
-	}
-	r := core.RunReplication(cfg)
+func renderReplication(r *core.ReplicationResult, emit func(*report.Table)) {
 	t := report.NewTable(
 		fmt.Sprintf("Section 6.1 — blob replication ablation (%d concurrent readers)", r.Clients),
 		"replicas", "readers/blob", "per-client MB/s", "aggregate MB/s", "speedup")
@@ -375,16 +377,10 @@ func runReplication(seed uint64, quick bool, emit func(*report.Table)) {
 			fmt.Sprintf("%.2fx", p.SpeedupVsOne))
 	}
 	emit(t)
+	printAnchors("Replication ablation", r.Anchors())
 }
 
-func runFig2Sizes(seed uint64, quick bool, emit func(*report.Table)) {
-	base := core.DefaultFig2Config()
-	base.Seed = seed
-	if quick {
-		base.Clients = []int{1, 16, 64}
-		base.Inserts, base.Queries, base.Updates = 50, 50, 25
-	}
-	sw := core.RunFig2Sizes(base, core.PaperEntitySizes())
+func renderFig2Sizes(sw *core.Fig2SizeSweep, emit func(*report.Table)) {
 	t := report.NewTable("Section 3.2 — table insert ops/s across entity sizes",
 		"clients", "1 kB", "4 kB", "16 kB", "64 kB")
 	for i, pt := range sw.Results[0].Points {
@@ -395,16 +391,10 @@ func runFig2Sizes(seed uint64, quick bool, emit func(*report.Table)) {
 		t.AddRow(row...)
 	}
 	emit(t)
+	printAnchors("Entity-size sweep", sw.Anchors())
 }
 
-func runFig3Sizes(seed uint64, quick bool, emit func(*report.Table)) {
-	base := core.DefaultFig3Config()
-	base.Seed = seed
-	if quick {
-		base.Clients = []int{1, 16, 64}
-		base.OpsEach = 40
-	}
-	sw := core.RunFig3Sizes(base, core.PaperMessageSizes())
+func renderFig3Sizes(sw *core.Fig3SizeSweep, emit func(*report.Table)) {
 	t := report.NewTable("Section 3.3 — queue add ops/s across message sizes",
 		"clients", "512 B", "1 kB", "4 kB", "8 kB")
 	for i, pt := range sw.Results[0].Points {
@@ -415,15 +405,10 @@ func runFig3Sizes(seed uint64, quick bool, emit func(*report.Table)) {
 		t.AddRow(row...)
 	}
 	emit(t)
+	printAnchors("Message-size sweep", sw.Anchors())
 }
 
-func runStartup(seed uint64, quick bool, emit func(*report.Table)) {
-	cfg := core.DefaultStartupScalingConfig()
-	cfg.Seed = seed
-	if quick {
-		cfg.Runs = 8
-	}
-	r := core.RunStartupScaling(cfg)
+func renderStartup(r *core.StartupScalingResult, emit func(*report.Table)) {
 	t := report.NewTable(
 		"Section 4.1 extra — deployment readiness vs size (small workers, seconds)",
 		"instances", "first ready avg", "all ready avg", "all ready std")
@@ -436,16 +421,10 @@ func runStartup(seed uint64, quick bool, emit func(*report.Table)) {
 	emit(t)
 	fmt.Printf("marginal startup cost: %.1f s per added instance (the 60-100 s serial readiness lag)\n\n",
 		r.MarginalSecondsPerInstance())
+	printAnchors("Startup scaling", r.Anchors())
 }
 
-func runSQLCompare(seed uint64, quick bool, emit func(*report.Table)) {
-	cfg := core.DefaultSQLCompareConfig()
-	cfg.Seed = seed
-	if quick {
-		cfg.Clients = []int{1, 32, 128}
-		cfg.OpsEach = 50
-	}
-	r := core.RunSQLCompare(cfg)
+func renderSQLCompare(r *core.SQLCompareResult, emit func(*report.Table)) {
 	t := report.NewTable(
 		"HPDC'10 extra — SQL Azure vs table storage, per-client ops/s (1 kB rows)",
 		"clients", "sql insert", "sql select", "tbl insert", "tbl query", "sql throttled")
@@ -456,17 +435,14 @@ func runSQLCompare(seed uint64, quick bool, emit func(*report.Table)) {
 			fmt.Sprintf("%d/%d", p.ThrottledOpens, p.Clients))
 	}
 	emit(t)
+	printAnchors("SQL comparison", r.Anchors())
 }
 
-func runQueueDepth(seed uint64, quick bool, emit func(*report.Table)) {
-	small, large := 200000, 2000000
-	if quick {
-		small, large = 20000, 200000
-	}
-	r := core.RunQueueDepth(seed, small, large)
+func renderQueueDepth(r *core.QueueDepthResult, emit func(*report.Table)) {
 	t := report.NewTable("Section 3.3 — queue depth invariance (per-client Receive ops/s @8 clients)",
 		"depth", "ops/s")
 	t.AddRow(fmt.Sprint(r.SmallDepth), fmt.Sprintf("%.1f", r.SmallRate))
 	t.AddRow(fmt.Sprint(r.LargeDepth), fmt.Sprintf("%.1f", r.LargeRate))
 	emit(t)
+	printAnchors("Queue depth invariance", r.Anchors())
 }

@@ -138,14 +138,19 @@ func runNetBench(seed uint64, quick bool, out string) {
 		{
 			"fig1", "seed=42 clients=1,8,32,64,128,192 blob=32MB runs=1",
 			func() {
-				core.RunFig1(core.Fig1Config{Seed: seed, Clients: []int{1, 8, 32, 64, 128, 192}, BlobMB: 32, Runs: 1})
+				core.RunFig1(core.Fig1Config{
+					Proto:  core.Proto{Seed: seed, Clients: []int{1, 8, 32, 64, 128, 192}, Runs: 1},
+					BlobMB: 32,
+				})
 			},
 		},
 		{
 			"fig2", "seed=42 clients=1,8,64 entity=4096 ops=40/40/20",
 			func() {
-				core.RunFig2(core.Fig2Config{Seed: seed, Clients: []int{1, 8, 64}, EntitySize: 4096,
-					Inserts: 40, Queries: 40, Updates: 20})
+				core.RunFig2(core.Fig2Config{
+					Proto:      core.Proto{Seed: seed, Clients: []int{1, 8, 64}},
+					EntitySize: 4096,
+					Inserts:    40, Queries: 40, Updates: 20})
 			},
 		},
 	}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"azureobs/internal/core"
+	"azureobs/internal/core/sched"
+)
+
+// The schedbench artifact measures the experiment scheduler: the same
+// reduced full-protocol suite — every registered experiment — is run at
+// several worker counts, sharding whole experiments across the pool exactly
+// as `azbench -run all -workers N` does. The report embeds the measured
+// serial baseline so each parallel row carries its own speedup, plus an
+// anchor hash per width proving the parallel runs are bit-identical to the
+// serial one.
+//
+// On a single-CPU host GOMAXPROCS serializes the goroutines, so speedup
+// stays ~1 regardless of width; num_cpu is recorded so readers can judge
+// the wall numbers. On an n-core machine the suite approaches min(n, width,
+// suite parallelism) speedup.
+
+type schedPoint struct {
+	Workers     int     `json:"workers"`
+	WallMS      float64 `json:"wall_ms"`
+	BusyMS      float64 `json:"busy_ms"`
+	Utilization float64 `json:"utilization"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+	AnchorHash  string  `json:"anchor_hash"`
+}
+
+type schedBenchReport struct {
+	Suite        string       `json:"suite"`
+	CapturedAt   string       `json:"captured_at"`
+	GoVersion    string       `json:"go_version"`
+	NumCPU       int          `json:"num_cpu"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	Note         string       `json:"note"`
+	Experiments  []string     `json:"experiments"`
+	SerialWallMS float64      `json:"serial_wall_ms"`
+	Points       []schedPoint `json:"points"`
+}
+
+// schedSuite is the reduced protocol per experiment: quick scale with the
+// ladders shrunk further so a full pass stays in seconds. The overrides
+// only touch Proto knobs, so the registry path is exactly what runs.
+func schedSuite(seed uint64) []core.Proto {
+	names := core.Names()
+	out := make([]core.Proto, len(names))
+	for i, name := range names {
+		p := core.Proto{Seed: seed, Scale: core.QuickScale, Clients: []int{1, 8}}
+		switch name {
+		case "fig1":
+			p.Runs = 2
+			p.Size = 8 << 20
+		case "fig2":
+			p.Size = 1024
+		case "table1":
+			p.Clients = nil
+			p.Runs = 8
+		case "tcp", "queuedepth":
+			p.Clients = nil
+		case "propfilter":
+			p.Clients = []int{1, 4}
+		case "startup":
+			p.Clients = nil
+			p.Runs = 3
+		case "replication":
+			p.Clients = nil
+			p.Size = 8 << 20
+		case "fig2sizes":
+			p.Clients = []int{4}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// anchorHash folds every anchor's exact float64 bits into one FNV-64a sum;
+// equal hashes across widths mean the parallel suite reproduced the serial
+// results bit-for-bit.
+func anchorHash(results []core.Result) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, r := range results {
+		for _, a := range r.Anchors() {
+			h.Write([]byte(a.Name))
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(a.Measured))
+			h.Write(b[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// runSchedSuite runs the whole suite sharded over a width-wide pool and
+// reports the pool's accounting plus the result hash.
+func runSchedSuite(protos []core.Proto, width int) (sched.Stats, string) {
+	names := core.Names()
+	pool := sched.New(width)
+	results := sched.Map(pool, len(protos), func(i int) core.Result {
+		p := protos[i]
+		p.Workers = 1
+		e, _ := core.Lookup(names[i])
+		return e.Run(p)
+	})
+	return pool.Stats(), anchorHash(results)
+}
+
+func runSchedBench(seed uint64, out string) {
+	rep := schedBenchReport{
+		Suite:      "sched",
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "every registered experiment at reduced scale, whole experiments " +
+			"sharded across the pool (as azbench -run all -workers N). speedup is " +
+			"against the serial wall embedded in this report; identical anchor_hash " +
+			"across rows certifies bit-identical results. Wall-clock speedup " +
+			"requires num_cpu > 1; on one CPU the rows only certify determinism.",
+		Experiments: core.Names(),
+	}
+	protos := schedSuite(seed)
+
+	// Warm one serial pass (page caches, allocator), then measure.
+	runSchedSuite(protos, 1)
+
+	widths := []int{1, 2, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp > 4 {
+		widths = append(widths, gmp)
+	}
+	for _, w := range widths {
+		stats, hash := runSchedSuite(protos, w)
+		wallMS := float64(stats.Wall) / 1e6
+		pt := schedPoint{
+			Workers:     w,
+			WallMS:      wallMS,
+			BusyMS:      float64(stats.Busy) / 1e6,
+			Utilization: stats.Utilization(w),
+			AnchorHash:  hash,
+		}
+		if w == 1 {
+			rep.SerialWallMS = wallMS
+		}
+		if rep.SerialWallMS > 0 {
+			pt.Speedup = rep.SerialWallMS / wallMS
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("schedbench: %2d workers: %8.1f ms wall  %.2fx vs serial  util %.2f  anchors %s\n",
+			w, wallMS, pt.Speedup, pt.Utilization, hash)
+	}
+
+	for _, pt := range rep.Points[1:] {
+		if pt.AnchorHash != rep.Points[0].AnchorHash {
+			fmt.Fprintf(os.Stderr, "schedbench: anchor hash diverged at %d workers: %s vs %s\n",
+				pt.Workers, pt.AnchorHash, rep.Points[0].AnchorHash)
+			os.Exit(1)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("schedbench: wrote %s\n", out)
+}

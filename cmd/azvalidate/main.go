@@ -1,18 +1,22 @@
 // Command azvalidate is the reproduction self-check: it runs every
-// experiment at a reduced-but-meaningful scale, compares the anchors against
-// the paper, and exits non-zero if any drifts beyond its tolerance. It is
-// the command a CI pipeline runs to catch calibration regressions.
+// registered experiment at the calibrated validation scale, compares the
+// anchors against the paper, and exits non-zero if any drifts beyond its
+// tolerance. It is the command a CI pipeline runs to catch calibration
+// regressions.
 //
 // Usage:
 //
-//	azvalidate            # ~30 s; exit 0 iff all anchors hold
+//	azvalidate            # exit 0 iff all anchors hold
 //	azvalidate -v         # also print every anchor
+//	azvalidate -workers 4 # shard experiment cells over 4 scheduler workers
+//	azvalidate -run fig1,tcp
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"azureobs/internal/core"
@@ -21,9 +25,10 @@ import (
 
 // check is one validated anchor with its tolerance (relative unless abs).
 type check struct {
+	exp    string
 	anchor core.Anchor
 	relTol float64
-	absTol float64 // used when > 0 (for near-zero paper values)
+	absTol float64 // used when > 0 (for near-zero or qualitative paper values)
 }
 
 func (c check) ok() bool {
@@ -37,82 +42,115 @@ func (c check) ok() bool {
 	return c.anchor.RelErr() <= c.relTol
 }
 
+// policy assigns each anchor its tolerance. Calibrated figure anchors get
+// tight relative bands; small-sample and rare-event anchors get absolute
+// bands; the qualitative ablation anchors (nominal paper values rather than
+// published measurements) get bands wide enough to test the claim's shape,
+// not a digit.
+func policy(exp string, a core.Anchor) check {
+	c := check{exp: exp, anchor: a, relTol: 0.15}
+	switch exp {
+	case "fig1":
+		c.relTol = 0.10
+	case "table1":
+		// Small-sample cells are noisy; the startup-failure-rate anchor is a
+		// percentage near 3 and gets an absolute band.
+		if a.Name == "startup failure rate" {
+			c.relTol, c.absTol = 0, 2.5
+		} else {
+			c.relTol = 0.25
+		}
+	case "tcp":
+		// The bandwidth tail is a small binomial count at validation scale.
+		if a.Name == "P(bandwidth ≤ 30 MB/s)" {
+			c.relTol, c.absTol = 0, 7
+		}
+	case "propfilter":
+		c.relTol, c.absTol = 0, 30
+	case "queuedepth":
+		// Invariance claim: deep/shallow rate ratio stays ~1.
+		c.relTol = 0.10
+	case "replication":
+		// Nominal k-fold aggregate claim, not a published measurement.
+		c.relTol = 0.20
+	case "sqlcompare":
+		// Qualitative claim: SQL throttles connections at 128 clients. Any
+		// nonzero throttle count up to twice the nominal value passes.
+		c.relTol, c.absTol = 0, 63
+	case "startup":
+		// Section 4.1 gives a 60-100 s per-instance band around 80.
+		c.relTol = 0.25
+	case "fig2sizes", "fig3sizes":
+		// "Similar shapes" across sizes: worst deviation is a percentage
+		// with paper value 0, so it needs an absolute band.
+		c.relTol, c.absTol = 0, 35
+	}
+	return c
+}
+
 func main() {
 	verbose := flag.Bool("v", false, "print every anchor")
 	seed := flag.Uint64("seed", 42, "root random seed")
+	workers := flag.Int("workers", 1, "scheduler workers for independent experiment cells")
+	run := flag.String("run", "", "comma-separated experiment names (default: all registered + modis)")
 	flag.Parse()
 
+	names := core.Names()
+	withModis := true
+	if *run != "" {
+		names = nil
+		withModis = false
+		for _, n := range strings.Split(*run, ",") {
+			n = strings.TrimSpace(n)
+			if n == "modis" {
+				withModis = true
+				continue
+			}
+			if _, ok := core.Lookup(n); !ok {
+				fmt.Fprintf(os.Stderr, "azvalidate: unknown experiment %q (have: %s, modis)\n",
+					n, strings.Join(core.Names(), ", "))
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+
 	var checks []check
-	add := func(anchors []core.Anchor, relTol float64) {
-		for _, a := range anchors {
-			checks = append(checks, check{anchor: a, relTol: relTol})
+	proto := core.Proto{Seed: *seed, Workers: *workers, Scale: core.ValidateScale}
+	for _, name := range names {
+		e, _ := core.Lookup(name)
+		for _, a := range e.Run(proto).Anchors() {
+			checks = append(checks, policy(name, a))
 		}
 	}
 
-	// Fig 1 at reduced blob size: exact calibration, tight tolerance.
-	fig1 := core.RunFig1(core.Fig1Config{Seed: *seed, Clients: []int{1, 32, 64, 128, 192}, BlobMB: 64, Runs: 1})
-	add(fig1.Anchors(), 0.10)
-
-	// Fig 2 at reduced op counts: peak locations must be exact, rates loose.
-	fig2 := core.RunFig2(core.Fig2Config{Seed: *seed, Clients: core.DefaultClientCounts(),
-		EntitySize: 4096, Inserts: 60, Queries: 60, Updates: 30})
-	add(fig2.Anchors(), 0.15)
-
-	// Fig 3.
-	fig3 := core.RunFig3(core.Fig3Config{Seed: *seed, Clients: core.DefaultClientCounts(), MsgSize: 512, OpsEach: 40})
-	add(fig3.Anchors(), 0.15)
-
-	// Table 1 at 120 runs: means within 20% (small-sample cells are noisy;
-	// the startup-failure-rate anchor gets an absolute band instead).
-	t1 := core.RunTable1(core.Table1Config{Seed: *seed, Runs: 120})
-	for _, a := range t1.Anchors() {
-		if a.Name == "startup failure rate" {
-			checks = append(checks, check{anchor: a, absTol: 2.5})
-			continue
+	if withModis {
+		// Table 2 / Fig 7 at ~2% campaign scale: shares within tolerance; the
+		// rare-event classes get absolute bands.
+		st := modis.NewCampaign(modis.Config{Seed: *seed, Days: 21, Workers: 60,
+			MeanRequestGap: 100 * time.Minute, MeanTasksPerRequest: 140}).Run()
+		for _, a := range st.Anchors() {
+			c := check{exp: "modis", anchor: a}
+			switch {
+			case a.Name == "Fig 7 peak daily timeout share":
+				// Few episodes fit a 21-day window; just require a sane range.
+				c.absTol = 16
+			case a.Paper >= 4: // the big shares
+				c.relTol = 0.10
+			default: // rare classes: absolute bands
+				c.absTol = a.Paper + 1
+			}
+			checks = append(checks, c)
 		}
-		checks = append(checks, check{anchor: a, relTol: 0.25})
-	}
-
-	// Figs 4-5. The bandwidth-tail anchor is a small binomial count at this
-	// sample size; give it an absolute band.
-	tcp := core.RunTCP(core.TCPConfig{Seed: *seed, LatencySamples: 5000, BandwidthPairs: 100, TransfersPer: 3})
-	for _, a := range tcp.Anchors() {
-		if a.Name == "P(bandwidth ≤ 30 MB/s)" {
-			checks = append(checks, check{anchor: a, absTol: 7})
-			continue
-		}
-		checks = append(checks, check{anchor: a, relTol: 0.15})
-	}
-
-	// Table 2 / Fig 7 at ~2% campaign scale: shares within tolerance; the
-	// rare-event classes get absolute bands.
-	st := modis.NewCampaign(modis.Config{Seed: *seed, Days: 21, Workers: 60,
-		MeanRequestGap: 100 * time.Minute, MeanTasksPerRequest: 140}).Run()
-	for _, a := range st.Anchors() {
-		switch {
-		case a.Name == "Fig 7 peak daily timeout share":
-			// Few episodes fit a 21-day window; just require a sane range.
-			checks = append(checks, check{anchor: a, absTol: 16})
-		case a.Paper >= 4: // the big shares
-			checks = append(checks, check{anchor: a, relTol: 0.10})
-		default: // rare classes: absolute bands
-			checks = append(checks, check{anchor: a, absTol: a.Paper + 1})
-		}
-	}
-
-	// Property-filter ablation.
-	pf := core.RunPropFilter(core.PropFilterConfig{Seed: *seed, Entities: 220000, Clients: []int{1, 32}})
-	for _, a := range pf.Anchors() {
-		checks = append(checks, check{anchor: a, absTol: 30})
 	}
 
 	failed := 0
 	for _, c := range checks {
 		if !c.ok() {
 			failed++
-			fmt.Printf("FAIL  %s\n", c.anchor)
+			fmt.Printf("FAIL  [%s] %s\n", c.exp, c.anchor)
 		} else if *verbose {
-			fmt.Printf("ok    %s\n", c.anchor)
+			fmt.Printf("ok    [%s] %s\n", c.exp, c.anchor)
 		}
 	}
 	fmt.Printf("\nazvalidate: %d/%d anchors within tolerance\n", len(checks)-failed, len(checks))

@@ -8,6 +8,9 @@
 //	modisazure                # full 242-day campaign (~3M task executions)
 //	modisazure -days 21       # shorter campaign
 //	modisazure -describe      # print the pipeline architecture (Fig. 6)
+//	modisazure -ablate 2,3,4,6 -parallel 4
+//	                          # kill-multiple ablation, campaigns sharded
+//	                          # over 4 scheduler workers
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"azureobs/internal/billing"
@@ -52,6 +57,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV tables")
 		showlog  = flag.Int("showlog", 0, "print the last N structured log records")
 		svgDir   = flag.String("svg", "", "also write fig7.svg into this directory")
+		ablate   = flag.String("ablate", "", "run the kill-multiple ablation at these comma-separated multiples instead of one campaign")
+		parallel = flag.Int("parallel", 1, "scheduler workers for the ablation's independent campaigns (-workers means worker-role instances)")
 	)
 	flag.Parse()
 
@@ -64,6 +71,35 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Days = *days
 	cfg.Workers = *workers
+
+	if *ablate != "" {
+		var multiples []float64
+		for _, s := range strings.Split(*ablate, ",") {
+			m, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || m <= 0 {
+				fmt.Fprintf(os.Stderr, "modisazure: bad -ablate multiple %q\n", s)
+				os.Exit(2)
+			}
+			multiples = append(multiples, m)
+		}
+		fmt.Printf("running kill-multiple ablation: %d days, %d workers, multiples %s, %d scheduler workers ...\n\n",
+			cfg.Days, cfg.Workers, *ablate, *parallel)
+		start := time.Now()
+		pts := modis.RunKillAblation(cfg, multiples, *parallel)
+		t := report.NewTable("Kill-multiple ablation (Section 5.2)",
+			"multiple", "timeouts", "false kills", "wasted hours", "executions")
+		for _, p := range pts {
+			t.AddRow(fmt.Sprintf("%.1fx", p.KillMultiple), fmt.Sprint(p.Timeouts),
+				fmt.Sprint(p.FalseKills), fmt.Sprintf("%.1f", p.WastedHours), fmt.Sprint(p.TotalExecs))
+		}
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("\nablation: %d campaigns (wall %.1fs)\n", len(pts), time.Since(start).Seconds())
+		return
+	}
 	fmt.Printf("running ModisAzure campaign: %d days, %d workers, seed %d ...\n\n",
 		cfg.Days, cfg.Workers, cfg.Seed)
 	start := time.Now()

@@ -10,7 +10,7 @@ import (
 // benchmark metrics all hang off these.
 
 func TestFig1AnchorsComplete(t *testing.T) {
-	r := RunFig1(Fig1Config{Seed: 2, Clients: []int{1, 32, 64, 128, 192}, BlobMB: 32, Runs: 1})
+	r := RunFig1(Fig1Config{Proto: Proto{Seed: 2, Clients: []int{1, 32, 64, 128, 192}, Runs: 1}, BlobMB: 32})
 	anchors := r.Anchors()
 	want := []string{
 		"download per-client @1", "download per-client @32",
@@ -31,7 +31,7 @@ func TestFig1AnchorsComplete(t *testing.T) {
 }
 
 func TestFig1SkipUpload(t *testing.T) {
-	r := RunFig1(Fig1Config{Seed: 2, Clients: []int{1, 64}, BlobMB: 16, Runs: 1, SkipUpload: true})
+	r := RunFig1(Fig1Config{Proto: Proto{Seed: 2, Clients: []int{1, 64}, Runs: 1}, BlobMB: 16, SkipUpload: true})
 	if r.Points[0].UpMBps != 0 {
 		t.Fatal("upload measured despite SkipUpload")
 	}
@@ -44,7 +44,7 @@ func TestFig1SkipUpload(t *testing.T) {
 }
 
 func TestFig3AnchorsComplete(t *testing.T) {
-	r := RunFig3(Fig3Config{Seed: 2, Clients: []int{16, 64, 128, 192}, OpsEach: 25})
+	r := RunFig3(Fig3Config{Proto: Proto{Seed: 2, Clients: []int{16, 64, 128, 192}}, OpsEach: 25})
 	names := map[string]bool{}
 	for _, a := range r.Anchors() {
 		names[a.Name] = true
@@ -65,14 +65,14 @@ func TestFig3AnchorsComplete(t *testing.T) {
 
 func TestFig3AnchorsPartialLadder(t *testing.T) {
 	// Missing concurrency levels simply omit their anchors.
-	r := RunFig3(Fig3Config{Seed: 2, Clients: []int{8}, OpsEach: 20})
+	r := RunFig3(Fig3Config{Proto: Proto{Seed: 2, Clients: []int{8}}, OpsEach: 20})
 	if len(r.Anchors()) != 0 {
 		t.Fatalf("anchors for absent levels: %v", r.Anchors())
 	}
 }
 
 func TestTCPAnchorValues(t *testing.T) {
-	r := RunTCP(TCPConfig{Seed: 2, LatencySamples: 2000, BandwidthPairs: 40, TransfersPer: 2})
+	r := RunTCP(TCPConfig{Proto: Proto{Seed: 2}, LatencySamples: 2000, BandwidthPairs: 40, TransfersPer: 2})
 	anchors := r.Anchors()
 	if len(anchors) != 5 {
 		t.Fatalf("anchors = %d, want 5", len(anchors))
@@ -92,7 +92,7 @@ func TestAggregateHelpers(t *testing.T) {
 }
 
 func TestTable1CellAutoCreates(t *testing.T) {
-	res := RunTable1(Table1Config{Seed: 2, Runs: 4})
+	res := RunTable1(Table1Config{Proto: Proto{Seed: 2, Runs: 4}})
 	s := res.Cell(0, 0, "Nonexistent")
 	if s == nil || s.N() != 0 {
 		t.Fatal("Cell should auto-create empty summaries")

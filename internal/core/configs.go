@@ -1,0 +1,181 @@
+package core
+
+import "azureobs/internal/netsim"
+
+// This file is the single home of the three protocol variants of every
+// experiment: the paper-scale default, the quick reduced scale behind
+// `azbench -quick`, and the calibrated validation scale `azvalidate`
+// checks tolerances against. Before the registry existed, the quick and
+// validate numbers lived as literals inside the two drivers and drifted
+// independently; now both binaries expand a Proto through these functions.
+
+// Fig1ConfigFor expands a Proto into the blob-bandwidth config.
+func Fig1ConfigFor(p Proto) Fig1Config {
+	cfg := DefaultFig1Config()
+	switch p.Scale {
+	case QuickScale:
+		cfg.Clients = []int{1, 8, 32, 128}
+		cfg.BlobMB = 128
+		cfg.Runs = 1
+	case ValidateScale:
+		cfg.Clients = []int{1, 32, 64, 128, 192}
+		cfg.BlobMB = 64
+		cfg.Runs = 1
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	if p.Size > 0 {
+		cfg.BlobMB = int64(p.Size) / netsim.MB
+	}
+	return cfg
+}
+
+// Fig2ConfigFor expands a Proto into the table-operations config.
+func Fig2ConfigFor(p Proto) Fig2Config {
+	cfg := DefaultFig2Config()
+	switch p.Scale {
+	case QuickScale:
+		cfg.Clients = []int{1, 8, 64, 128}
+		cfg.Inserts, cfg.Queries, cfg.Updates = 60, 60, 30
+	case ValidateScale:
+		cfg.Inserts, cfg.Queries, cfg.Updates = 60, 60, 30
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	if p.Size > 0 {
+		cfg.EntitySize = p.Size
+	}
+	return cfg
+}
+
+// Fig3ConfigFor expands a Proto into the queue-operations config.
+func Fig3ConfigFor(p Proto) Fig3Config {
+	cfg := DefaultFig3Config()
+	switch p.Scale {
+	case QuickScale:
+		cfg.Clients = []int{1, 16, 64, 128, 192}
+		cfg.OpsEach = 40
+	case ValidateScale:
+		cfg.OpsEach = 40
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	if p.Size > 0 {
+		cfg.MsgSize = p.Size
+	}
+	return cfg
+}
+
+// Table1ConfigFor expands a Proto into the VM-lifecycle config.
+func Table1ConfigFor(p Proto) Table1Config {
+	cfg := DefaultTable1Config()
+	switch p.Scale {
+	case QuickScale:
+		cfg.Runs = 80
+	case ValidateScale:
+		cfg.Runs = 120
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	return cfg
+}
+
+// TCPConfigFor expands a Proto into the inter-VM TCP config.
+func TCPConfigFor(p Proto) TCPConfig {
+	cfg := DefaultTCPConfig()
+	switch p.Scale {
+	case QuickScale:
+		cfg.LatencySamples = 2000
+		cfg.BandwidthPairs = 50
+		cfg.TransfersPer = 2
+	case ValidateScale:
+		cfg.LatencySamples = 5000
+		cfg.BandwidthPairs = 100
+		cfg.TransfersPer = 3
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	return cfg
+}
+
+// PropFilterConfigFor expands a Proto into the property-filter ablation
+// config.
+func PropFilterConfigFor(p Proto) PropFilterConfig {
+	cfg := DefaultPropFilterConfig()
+	switch p.Scale {
+	case QuickScale:
+		cfg.Entities = 110000
+	case ValidateScale:
+		cfg.Clients = []int{1, 32}
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	return cfg
+}
+
+// QueueDepthConfigFor expands a Proto into the queue-depth invariance
+// config.
+func QueueDepthConfigFor(p Proto) QueueDepthConfig {
+	cfg := DefaultQueueDepthConfig()
+	if p.Scale == QuickScale || p.Scale == ValidateScale {
+		cfg.SmallDepth, cfg.LargeDepth = 20000, 200000
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	return cfg
+}
+
+// ReplicationConfigFor expands a Proto into the blob-replication ablation
+// config.
+func ReplicationConfigFor(p Proto) ReplicationConfig {
+	cfg := DefaultReplicationConfig()
+	if p.Scale == QuickScale || p.Scale == ValidateScale {
+		// Keep 128 readers per replica at k=4 — the k-fold claim needs every
+		// replica saturated — and shrink only the blob.
+		cfg.BlobMB = 64
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	if p.Size > 0 {
+		cfg.BlobMB = int64(p.Size) / netsim.MB
+	}
+	return cfg
+}
+
+// SQLCompareConfigFor expands a Proto into the SQL-vs-table config.
+func SQLCompareConfigFor(p Proto) SQLCompareConfig {
+	cfg := DefaultSQLCompareConfig()
+	if p.Scale == QuickScale || p.Scale == ValidateScale {
+		cfg.Clients = []int{1, 32, 128}
+		cfg.OpsEach = 50
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	return cfg
+}
+
+// StartupConfigFor expands a Proto into the startup-scaling config.
+func StartupConfigFor(p Proto) StartupScalingConfig {
+	cfg := DefaultStartupScalingConfig()
+	if p.Scale == QuickScale || p.Scale == ValidateScale {
+		cfg.Runs = 8
+	}
+	cfg.Proto = p.apply(cfg.Proto)
+	return cfg
+}
+
+// Fig2SizesBaseFor expands a Proto into the base config of the
+// entity-size sweep (the sweep itself perturbs EntitySize and Seed per
+// size, exactly as RunFig2Sizes always has).
+func Fig2SizesBaseFor(p Proto) Fig2Config {
+	base := DefaultFig2Config()
+	if p.Scale == QuickScale || p.Scale == ValidateScale {
+		base.Clients = []int{1, 16, 64}
+		base.Inserts, base.Queries, base.Updates = 50, 50, 25
+	}
+	base.Proto = p.apply(base.Proto)
+	return base
+}
+
+// Fig3SizesBaseFor expands a Proto into the base config of the
+// message-size sweep.
+func Fig3SizesBaseFor(p Proto) Fig3Config {
+	base := DefaultFig3Config()
+	if p.Scale == QuickScale || p.Scale == ValidateScale {
+		base.Clients = []int{1, 16, 64}
+		base.OpsEach = 40
+	}
+	base.Proto = p.apply(base.Proto)
+	return base
+}

@@ -33,7 +33,7 @@ func TestDefaultClientCounts(t *testing.T) {
 }
 
 func TestFig1SmallScale(t *testing.T) {
-	cfg := Fig1Config{Seed: 1, Clients: []int{1, 32}, BlobMB: 64, Runs: 1}
+	cfg := Fig1Config{Proto: Proto{Seed: 1, Clients: []int{1, 32}, Runs: 1}, BlobMB: 64}
 	r := RunFig1(cfg)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -59,7 +59,7 @@ func TestFig1SmallScale(t *testing.T) {
 }
 
 func TestFig1Deterministic(t *testing.T) {
-	cfg := Fig1Config{Seed: 5, Clients: []int{8}, BlobMB: 32, Runs: 1}
+	cfg := Fig1Config{Proto: Proto{Seed: 5, Clients: []int{8}, Runs: 1}, BlobMB: 32}
 	a := RunFig1(cfg)
 	b := RunFig1(cfg)
 	if a.Points[0] != b.Points[0] {
@@ -68,7 +68,7 @@ func TestFig1Deterministic(t *testing.T) {
 }
 
 func TestFig2SmallScale(t *testing.T) {
-	cfg := Fig2Config{Seed: 1, Clients: []int{1, 8, 64}, EntitySize: 4096,
+	cfg := Fig2Config{Proto: Proto{Seed: 1, Clients: []int{1, 8, 64}}, EntitySize: 4096,
 		Inserts: 40, Queries: 40, Updates: 20}
 	r := RunFig2(cfg)
 	if len(r.Points) != 3 {
@@ -93,7 +93,7 @@ func TestFig2SmallScale(t *testing.T) {
 }
 
 func TestFig2Overload64k(t *testing.T) {
-	cfg := Fig2Config{Seed: 1, Clients: []int{128}, EntitySize: 65536,
+	cfg := Fig2Config{Proto: Proto{Seed: 1, Clients: []int{128}}, EntitySize: 65536,
 		Inserts: 500, Queries: 1, Updates: 1}
 	r := RunFig2(cfg)
 	s := r.Points[0].InsertSurvivors
@@ -113,7 +113,7 @@ func TestFig2Overload64k(t *testing.T) {
 }
 
 func TestFig3SmallScale(t *testing.T) {
-	cfg := Fig3Config{Seed: 1, Clients: []int{1, 64, 192}, MsgSize: 512, OpsEach: 30}
+	cfg := Fig3Config{Proto: Proto{Seed: 1, Clients: []int{1, 64, 192}}, MsgSize: 512, OpsEach: 30}
 	r := RunFig3(cfg)
 	p1, p64, p192 := r.Points[0], r.Points[1], r.Points[2]
 	if p1.AddOps < 14 || p1.AddOps > 21 {
@@ -134,14 +134,14 @@ func TestFig3SmallScale(t *testing.T) {
 }
 
 func TestQueueDepthInvariance(t *testing.T) {
-	r := RunQueueDepth(1, 20000, 200000)
+	r := RunQueueDepth(QueueDepthConfig{Proto: Proto{Seed: 1}, SmallDepth: 20000, LargeDepth: 200000})
 	if math.Abs(r.SmallRate-r.LargeRate)/r.SmallRate > 0.1 {
 		t.Fatalf("depth sensitivity: %.2f vs %.2f", r.SmallRate, r.LargeRate)
 	}
 }
 
 func TestTable1SmallScale(t *testing.T) {
-	r := RunTable1(Table1Config{Seed: 1, Runs: 60})
+	r := RunTable1(Table1Config{Proto: Proto{Seed: 1, Runs: 60}})
 	if r.SuccessRuns != 60 {
 		t.Fatalf("successes = %d", r.SuccessRuns)
 	}
@@ -167,7 +167,7 @@ func TestTable1SmallScale(t *testing.T) {
 }
 
 func TestTable1Percentiles(t *testing.T) {
-	r := RunTable1(Table1Config{Seed: 2, Runs: 431})
+	r := RunTable1(Table1Config{Proto: Proto{Seed: 2, Runs: 431}})
 	pct := r.Percentiles()
 	// With PosNormal(533, 36), ~58% of worker-small first instances land
 	// within 9 min and ~97% within 10 (see EXPERIMENTS.md for the
@@ -186,7 +186,7 @@ func TestTable1Percentiles(t *testing.T) {
 }
 
 func TestTable1FailureRate(t *testing.T) {
-	r := RunTable1(Table1Config{Seed: 3, Runs: 250})
+	r := RunTable1(Table1Config{Proto: Proto{Seed: 3, Runs: 250}})
 	rate := r.FailureRate()
 	if rate < 0.002 || rate > 0.08 {
 		t.Fatalf("failure rate = %.3f, want ~0.026", rate)
@@ -194,7 +194,7 @@ func TestTable1FailureRate(t *testing.T) {
 }
 
 func TestTCPDistributions(t *testing.T) {
-	r := RunTCP(TCPConfig{Seed: 1, LatencySamples: 5000, BandwidthPairs: 100, TransfersPer: 3})
+	r := RunTCP(TCPConfig{Proto: Proto{Seed: 1}, LatencySamples: 5000, BandwidthPairs: 100, TransfersPer: 3})
 	if p := r.LatencyMS.FracLE(1); math.Abs(p-0.5) > 0.04 {
 		t.Fatalf("P(≤1ms) = %.3f, want ~0.5", p)
 	}
@@ -213,7 +213,7 @@ func TestTCPDistributions(t *testing.T) {
 }
 
 func TestStartupScaling(t *testing.T) {
-	r := RunStartupScaling(StartupScalingConfig{Seed: 1, Sizes: []int{1, 4, 16}, Runs: 15})
+	r := RunStartupScaling(StartupScalingConfig{Proto: Proto{Seed: 1, Runs: 15}, Sizes: []int{1, 4, 16}})
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -234,7 +234,7 @@ func TestStartupScaling(t *testing.T) {
 }
 
 func TestSQLCompare(t *testing.T) {
-	r := RunSQLCompare(SQLCompareConfig{Seed: 1, Clients: []int{1, 128}, OpsEach: 40})
+	r := RunSQLCompare(SQLCompareConfig{Proto: Proto{Seed: 1, Clients: []int{1, 128}}, OpsEach: 40})
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -263,7 +263,7 @@ func TestSQLCompare(t *testing.T) {
 }
 
 func TestReplicationAblation(t *testing.T) {
-	r := RunReplication(ReplicationConfig{Seed: 1, Clients: 64, BlobMB: 64, Replicas: []int{1, 4}})
+	r := RunReplication(ReplicationConfig{Proto: Proto{Seed: 1}, Clients: 64, BlobMB: 64, Replicas: []int{1, 4}})
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -283,7 +283,7 @@ func TestReplicationAblation(t *testing.T) {
 }
 
 func TestPropFilter(t *testing.T) {
-	r := RunPropFilter(PropFilterConfig{Seed: 1, Entities: 220000, Clients: []int{1, 32}})
+	r := RunPropFilter(PropFilterConfig{Proto: Proto{Seed: 1, Clients: []int{1, 32}}, Entities: 220000})
 	if r.Points[0].Timeouts != 0 {
 		t.Fatalf("solo filter queries timed out: %d", r.Points[0].Timeouts)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"azureobs/internal/azure"
+	"azureobs/internal/core/sched"
 	"azureobs/internal/fabric"
 	"azureobs/internal/metrics"
 	"azureobs/internal/netsim"
@@ -14,16 +15,30 @@ import (
 // (Section 3.1): n worker roles simultaneously download the same 1 GB blob /
 // upload distinct 1 GB blobs to one container; three runs per setting.
 type Fig1Config struct {
-	Seed       uint64
-	Clients    []int
+	Proto
 	BlobMB     int64 // per-transfer size (paper: 1024)
-	Runs       int   // repetitions per concurrency level (paper: 3/day)
 	SkipUpload bool
 }
 
 // DefaultFig1Config is the paper-scale protocol.
 func DefaultFig1Config() Fig1Config {
-	return Fig1Config{Seed: 42, Clients: DefaultClientCounts(), BlobMB: 1024, Runs: 3}
+	p := Defaults()
+	p.Clients = DefaultClientCounts()
+	p.Runs = 3
+	return Fig1Config{Proto: p, BlobMB: 1024}
+}
+
+func (cfg Fig1Config) withDefaults() Fig1Config {
+	if cfg.Clients == nil {
+		cfg.Clients = DefaultClientCounts()
+	}
+	if cfg.BlobMB == 0 {
+		cfg.BlobMB = 1024
+	}
+	if cfg.Runs == 0 {
+		cfg.Runs = 3
+	}
+	return cfg
 }
 
 // Fig1Point is the measurement at one concurrency level.
@@ -41,29 +56,46 @@ type Fig1Result struct {
 	Points []Fig1Point
 }
 
-// RunFig1 executes the blob bandwidth sweep.
+// fig1Cell is the outcome of one independent (concurrency level, run)
+// cell: a download round and (unless skipped) an upload round, each on
+// its own fresh cloud.
+type fig1Cell struct {
+	down    *metrics.Summary
+	downAgg float64
+	up      *metrics.Summary
+	upAgg   float64
+}
+
+// RunFig1 executes the blob bandwidth sweep. Cells — one per (level, run)
+// pair — are independent simulations with seeds derived only from the
+// run index, so they shard over cfg.Workers; the per-level summaries are
+// then merged in the serial order, keeping results bit-identical at any
+// worker count.
 func RunFig1(cfg Fig1Config) *Fig1Result {
-	if cfg.Clients == nil {
-		cfg.Clients = DefaultClientCounts()
-	}
-	if cfg.BlobMB == 0 {
-		cfg.BlobMB = 1024
-	}
-	if cfg.Runs == 0 {
-		cfg.Runs = 3
-	}
+	cfg = cfg.withDefaults()
+	runs := cfg.Runs
+	pool := sched.New(cfg.Workers)
+	cells := sched.Map(pool, len(cfg.Clients)*runs, func(i int) fig1Cell {
+		n, run := cfg.Clients[i/runs], i%runs
+		var c fig1Cell
+		c.down, c.downAgg = fig1Download(cfg, n, run)
+		if !cfg.SkipUpload {
+			c.up, c.upAgg = fig1Upload(cfg, n, run)
+		}
+		return c
+	})
+
 	res := &Fig1Result{}
-	for _, n := range cfg.Clients {
+	for li, n := range cfg.Clients {
 		pt := Fig1Point{Clients: n}
 		var down, up, downAgg, upAgg metrics.Summary
-		for run := 0; run < cfg.Runs; run++ {
-			d, da := fig1Download(cfg, n, run)
-			down.Merge(d)
-			downAgg.Add(da)
-			if !cfg.SkipUpload {
-				u, ua := fig1Upload(cfg, n, run)
-				up.Merge(u)
-				upAgg.Add(ua)
+		for run := 0; run < runs; run++ {
+			c := cells[li*runs+run]
+			down.Merge(c.down)
+			downAgg.Add(c.downAgg)
+			if c.up != nil {
+				up.Merge(c.up)
+				upAgg.Add(c.upAgg)
 			}
 		}
 		pt.DownMBps = down.Mean()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"azureobs/internal/azure"
+	"azureobs/internal/core/sched"
 	"azureobs/internal/fabric"
 	"azureobs/internal/sim"
 	"azureobs/internal/storage/storerr"
@@ -16,8 +17,7 @@ import (
 // updates one shared entity 100 times unconditionally, then deletes its own
 // 500 entities. Entity sizes 1-64 kB.
 type Fig2Config struct {
-	Seed       uint64
-	Clients    []int
+	Proto
 	EntitySize int // bytes (paper figure: 4096)
 	Inserts    int // per client (paper: 500)
 	Queries    int // per client (paper: 500)
@@ -26,14 +26,34 @@ type Fig2Config struct {
 
 // DefaultFig2Config is the paper-scale protocol at 4 kB entities.
 func DefaultFig2Config() Fig2Config {
+	p := Defaults()
+	p.Clients = DefaultClientCounts()
 	return Fig2Config{
-		Seed:       42,
-		Clients:    DefaultClientCounts(),
+		Proto:      p,
 		EntitySize: 4096,
 		Inserts:    500,
 		Queries:    500,
 		Updates:    100,
 	}
+}
+
+func (cfg Fig2Config) withDefaults() Fig2Config {
+	if cfg.Clients == nil {
+		cfg.Clients = DefaultClientCounts()
+	}
+	if cfg.EntitySize == 0 {
+		cfg.EntitySize = 4096
+	}
+	if cfg.Inserts == 0 {
+		cfg.Inserts = 500
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 500
+	}
+	if cfg.Updates == 0 {
+		cfg.Updates = 100
+	}
+	return cfg
 }
 
 // Fig2Point holds per-client ops/s for the four operations at one
@@ -56,27 +76,16 @@ type Fig2Result struct {
 	Points     []Fig2Point
 }
 
-// RunFig2 executes the table operation sweep.
+// RunFig2 executes the table operation sweep. Each concurrency level is an
+// independent cell (its own cloud, seed salted by the level alone), so the
+// ladder shards over cfg.Workers with bit-identical results at any width.
 func RunFig2(cfg Fig2Config) *Fig2Result {
-	if cfg.Clients == nil {
-		cfg.Clients = DefaultClientCounts()
-	}
-	if cfg.EntitySize == 0 {
-		cfg.EntitySize = 4096
-	}
-	if cfg.Inserts == 0 {
-		cfg.Inserts = 500
-	}
-	if cfg.Queries == 0 {
-		cfg.Queries = 500
-	}
-	if cfg.Updates == 0 {
-		cfg.Updates = 100
-	}
+	cfg = cfg.withDefaults()
 	res := &Fig2Result{EntitySize: cfg.EntitySize}
-	for _, n := range cfg.Clients {
-		res.Points = append(res.Points, runFig2Level(cfg, n))
-	}
+	pool := sched.New(cfg.Workers)
+	res.Points = sched.Map(pool, len(cfg.Clients), func(i int) Fig2Point {
+		return runFig2Level(cfg, cfg.Clients[i])
+	})
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"azureobs/internal/azure"
+	"azureobs/internal/core/sched"
 	"azureobs/internal/fabric"
 	"azureobs/internal/sim"
 )
@@ -13,15 +14,29 @@ import (
 // (Section 3.3): one queue shared by 1-192 worker roles; Add, Peek and
 // Receive measured separately; message sizes 512 B - 8 kB.
 type Fig3Config struct {
-	Seed    uint64
-	Clients []int
+	Proto
 	MsgSize int // bytes (paper figure: 512)
 	OpsEach int // operations per client per phase
 }
 
 // DefaultFig3Config is the paper-scale protocol at 512-byte messages.
 func DefaultFig3Config() Fig3Config {
-	return Fig3Config{Seed: 42, Clients: DefaultClientCounts(), MsgSize: 512, OpsEach: 100}
+	p := Defaults()
+	p.Clients = DefaultClientCounts()
+	return Fig3Config{Proto: p, MsgSize: 512, OpsEach: 100}
+}
+
+func (cfg Fig3Config) withDefaults() Fig3Config {
+	if cfg.Clients == nil {
+		cfg.Clients = DefaultClientCounts()
+	}
+	if cfg.MsgSize == 0 {
+		cfg.MsgSize = 512
+	}
+	if cfg.OpsEach == 0 {
+		cfg.OpsEach = 100
+	}
+	return cfg
 }
 
 // Fig3Point holds per-client ops/s for the three operations at one level.
@@ -47,21 +62,15 @@ type Fig3Result struct {
 	Points  []Fig3Point
 }
 
-// RunFig3 executes the queue operation sweep.
+// RunFig3 executes the queue operation sweep. As in Fig. 2, each ladder
+// level is an isolated cell and shards over cfg.Workers.
 func RunFig3(cfg Fig3Config) *Fig3Result {
-	if cfg.Clients == nil {
-		cfg.Clients = DefaultClientCounts()
-	}
-	if cfg.MsgSize == 0 {
-		cfg.MsgSize = 512
-	}
-	if cfg.OpsEach == 0 {
-		cfg.OpsEach = 100
-	}
+	cfg = cfg.withDefaults()
 	res := &Fig3Result{MsgSize: cfg.MsgSize}
-	for _, n := range cfg.Clients {
-		res.Points = append(res.Points, runFig3Level(cfg, n))
-	}
+	pool := sched.New(cfg.Workers)
+	res.Points = sched.Map(pool, len(cfg.Clients), func(i int) Fig3Point {
+		return runFig3Level(cfg, cfg.Clients[i])
+	})
 	return res
 }
 
@@ -136,6 +145,18 @@ func (r *Fig3Result) Anchors() []Anchor {
 	return out
 }
 
+// QueueDepthConfig scales the queue-depth invariance check — the paper's
+// 200k vs 2M message comparison (Section 3.3).
+type QueueDepthConfig struct {
+	Proto
+	SmallDepth, LargeDepth int
+}
+
+// DefaultQueueDepthConfig is the paper-scale comparison.
+func DefaultQueueDepthConfig() QueueDepthConfig {
+	return QueueDepthConfig{Proto: Defaults(), SmallDepth: 200000, LargeDepth: 2000000}
+}
+
 // QueueDepthResult compares operation rates at two queue depths — the
 // paper's 200k vs 2M message invariance check.
 type QueueDepthResult struct {
@@ -143,10 +164,17 @@ type QueueDepthResult struct {
 	SmallRate, LargeRate   float64 // per-client Receive ops/s at 8 clients
 }
 
-// RunQueueDepth executes the queue-depth invariance experiment.
-func RunQueueDepth(seed uint64, smallDepth, largeDepth int) *QueueDepthResult {
+// RunQueueDepth executes the queue-depth invariance experiment. Its two
+// depths are independent cells and shard over cfg.Workers.
+func RunQueueDepth(cfg QueueDepthConfig) *QueueDepthResult {
+	if cfg.SmallDepth == 0 {
+		cfg.SmallDepth = 200000
+	}
+	if cfg.LargeDepth == 0 {
+		cfg.LargeDepth = 2000000
+	}
 	rate := func(depth int, salt uint64) float64 {
-		ccfg := azure.Config{Seed: seed + salt}
+		ccfg := azure.Config{Seed: cfg.Seed + salt}
 		ccfg.Fabric = fabric.DefaultConfig()
 		ccfg.Fabric.Degradation = false
 		cloud := azure.NewCloud(ccfg)
@@ -169,10 +197,26 @@ func RunQueueDepth(seed uint64, smallDepth, largeDepth int) *QueueDepthResult {
 		cloud.Engine.Run()
 		return float64(ops) / sec
 	}
+	pool := sched.New(cfg.Workers)
+	rates := sched.Map(pool, 2, func(i int) float64 {
+		if i == 0 {
+			return rate(cfg.SmallDepth, 0)
+		}
+		return rate(cfg.LargeDepth, 1)
+	})
 	return &QueueDepthResult{
-		SmallDepth: smallDepth,
-		LargeDepth: largeDepth,
-		SmallRate:  rate(smallDepth, 0),
-		LargeRate:  rate(largeDepth, 1),
+		SmallDepth: cfg.SmallDepth,
+		LargeDepth: cfg.LargeDepth,
+		SmallRate:  rates[0],
+		LargeRate:  rates[1],
 	}
+}
+
+// Anchors reports the paper's invariance claim: receive throughput does
+// not depend on queue depth, so the large/small rate ratio is 1.
+func (r *QueueDepthResult) Anchors() []Anchor {
+	if r.SmallRate <= 0 {
+		return nil
+	}
+	return []Anchor{{"receive rate ratio, deep vs shallow queue", "x", 1.0, r.LargeRate / r.SmallRate}}
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math"
 	"os"
@@ -22,32 +24,153 @@ import (
 //
 //	GOLDEN_PRINT=1 go test ./internal/core -run TestTraceGoldens -v
 
-type goldenHasher struct{ h *fnvWrap }
-
-type fnvWrap struct {
-	inner interface {
-		Write([]byte) (int, error)
-		Sum64() uint64
-	}
+// goldenHasher folds encoded result fields into an FNV-64a hash and keeps
+// the raw byte stream, so the same encoders serve both the trace goldens
+// (compact hash) and the scheduler equivalence test (byte comparison).
+type goldenHasher struct {
+	h   hash.Hash64
+	buf bytes.Buffer
 }
 
 func newGoldenHasher() *goldenHasher {
-	return &goldenHasher{h: &fnvWrap{inner: fnv.New64a()}}
+	return &goldenHasher{h: fnv.New64a()}
+}
+
+func (g *goldenHasher) write(b []byte) {
+	g.h.Write(b)
+	g.buf.Write(b)
 }
 
 func (g *goldenHasher) f64(x float64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
-	g.h.inner.Write(b[:])
+	g.write(b[:])
 }
 
 func (g *goldenHasher) i64(x int64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(x))
-	g.h.inner.Write(b[:])
+	g.write(b[:])
 }
 
-func (g *goldenHasher) sum() uint64 { return g.h.inner.Sum64() }
+func (g *goldenHasher) sum() uint64 { return g.h.Sum64() }
+
+func (g *goldenHasher) bytes() []byte { return g.buf.Bytes() }
+
+func (g *goldenHasher) summary(s interface {
+	N() uint64
+	Mean() float64
+	Std() float64
+}) {
+	g.i64(int64(s.N()))
+	g.f64(s.Mean())
+	g.f64(s.Std())
+}
+
+// encodeResult serializes a result's observable fields in a fixed order.
+// The per-type field orders predate the encoder and must not change: the
+// goldenTraces hashes below were captured over exactly these streams.
+func encodeResult(g *goldenHasher, res Result) {
+	switch r := res.(type) {
+	case *Fig1Result:
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.DownMBps)
+			g.f64(p.DownAggMBps)
+			g.f64(p.UpMBps)
+			g.f64(p.UpAggMBps)
+			g.f64(p.DownMBpsStddev)
+		}
+	case *Fig2Result:
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.InsertOps)
+			g.f64(p.QueryOps)
+			g.f64(p.UpdateOps)
+			g.f64(p.DeleteOps)
+			g.i64(int64(p.InsertSurvivors))
+			g.i64(int64(p.DeleteSurvivors))
+		}
+	case *Fig3Result:
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.AddOps)
+			g.f64(p.PeekOps)
+			g.f64(p.ReceiveOps)
+		}
+	case *TCPResult:
+		for _, v := range r.LatencyMS.Values() {
+			g.f64(v)
+		}
+		for _, v := range r.BandwidthMBps.Values() {
+			g.f64(v)
+		}
+	case *ReplicationResult:
+		for _, p := range r.Points {
+			g.i64(int64(p.Replicas))
+			g.f64(p.PerClientMBps)
+			g.f64(p.AggregateMBps)
+			g.f64(p.SpeedupVsOne)
+			g.i64(int64(p.PerBlobClients))
+		}
+	case *Table1Result:
+		// Hash a fixed cell list rather than map iteration order.
+		for _, role := range []fabric.Role{fabric.Worker, fabric.Web} {
+			for _, size := range []fabric.Size{fabric.Small, fabric.Medium, fabric.Large, fabric.ExtraLarge} {
+				for _, phase := range []string{"Create", "Run", "Add", "Suspend", "Delete"} {
+					g.summary(r.Cell(role, size, phase))
+				}
+			}
+		}
+		for _, v := range r.FirstReadyWorkerSmall.Values() {
+			g.f64(v)
+		}
+		for _, v := range r.FirstReadyWebSmall.Values() {
+			g.f64(v)
+		}
+		g.i64(int64(r.SuccessRuns))
+		g.i64(int64(r.FailedRuns))
+	case *PropFilterResult:
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.i64(int64(p.Queries))
+			g.i64(int64(p.Timeouts))
+			g.f64(p.MeanLatency)
+		}
+	case *QueueDepthResult:
+		g.f64(r.SmallRate)
+		g.f64(r.LargeRate)
+	case *SQLCompareResult:
+		for _, p := range r.Points {
+			g.i64(int64(p.Clients))
+			g.f64(p.SQLInsertOps)
+			g.f64(p.SQLSelectOps)
+			g.f64(p.TableInsertOps)
+			g.f64(p.TableQueryOps)
+			g.i64(int64(p.ThrottledOpens))
+			g.i64(int64(p.ConnectedOpens))
+		}
+	case *StartupScalingResult:
+		for i := range r.Points {
+			p := &r.Points[i]
+			g.i64(int64(p.Instances))
+			g.summary(&p.FirstReady)
+			g.summary(&p.AllReady)
+		}
+	case *Fig2SizeSweep:
+		for i, sub := range r.Results {
+			g.i64(int64(r.Sizes[i]))
+			encodeResult(g, sub)
+		}
+	case *Fig3SizeSweep:
+		for i, sub := range r.Results {
+			g.i64(int64(r.Sizes[i]))
+			encodeResult(g, sub)
+		}
+	default:
+		panic(fmt.Sprintf("no encoder for result type %T", res))
+	}
+}
 
 // goldenTraces are the expected hashes, captured from the seed solver.
 //
@@ -71,139 +194,44 @@ var goldenTraces = map[string]uint64{
 	"tcp/seed42":         0x78f20dbc473c956b,
 }
 
-func traceHashes() map[string]uint64 {
-	out := map[string]uint64{}
+// goldenConfigs builds the fixed reduced-scale runs the goldens hash. The
+// scheduler width is the only knob the golden harness varies: at any
+// width the hashes must match the serial captures above.
+func goldenRuns(workers int) map[string]Result {
+	w := func(p Proto) Proto {
+		p.Workers = workers
+		return p
+	}
+	return map[string]Result{
+		"fig1/seed42": RunFig1(Fig1Config{
+			Proto: w(Proto{Seed: 42, Clients: []int{1, 8, 32, 64, 128, 192}, Runs: 1}), BlobMB: 32}),
+		"fig1/seed7": RunFig1(Fig1Config{
+			Proto: w(Proto{Seed: 7, Clients: []int{1, 64, 192}, Runs: 2}), BlobMB: 16}),
+		"fig2/seed42": RunFig2(Fig2Config{
+			Proto: w(Proto{Seed: 42, Clients: []int{1, 8, 64}}), EntitySize: 4096,
+			Inserts: 40, Queries: 40, Updates: 20}),
+		"fig3/seed42": RunFig3(Fig3Config{
+			Proto: w(Proto{Seed: 42, Clients: []int{1, 16, 64, 192}}), MsgSize: 512, OpsEach: 25}),
+		"tcp/seed42": RunTCP(TCPConfig{
+			Proto: w(Proto{Seed: 42}), LatencySamples: 500, BandwidthPairs: 40, TransfersPer: 2}),
+		"replication/seed42": RunReplication(ReplicationConfig{
+			Proto: w(Proto{Seed: 42}), Clients: 64, BlobMB: 32, Replicas: []int{1, 4}}),
+		"table1/seed42": RunTable1(Table1Config{Proto: w(Proto{Seed: 42, Runs: 16})}),
+		"propfilter/seed42": RunPropFilter(PropFilterConfig{
+			Proto: w(Proto{Seed: 42, Clients: []int{1, 32}}), Entities: 60000}),
+		"queuedepth/seed42": RunQueueDepth(QueueDepthConfig{
+			Proto: w(Proto{Seed: 42}), SmallDepth: 5000, LargeDepth: 50000}),
+		"sqlcompare/seed42": RunSQLCompare(SQLCompareConfig{
+			Proto: w(Proto{Seed: 42, Clients: []int{1, 64}}), OpsEach: 25}),
+	}
+}
 
-	{
+func traceHashes(workers int) map[string]uint64 {
+	out := map[string]uint64{}
+	for k, r := range goldenRuns(workers) {
 		g := newGoldenHasher()
-		r := RunFig1(Fig1Config{Seed: 42, Clients: []int{1, 8, 32, 64, 128, 192}, BlobMB: 32, Runs: 1})
-		for _, p := range r.Points {
-			g.i64(int64(p.Clients))
-			g.f64(p.DownMBps)
-			g.f64(p.DownAggMBps)
-			g.f64(p.UpMBps)
-			g.f64(p.UpAggMBps)
-			g.f64(p.DownMBpsStddev)
-		}
-		out["fig1/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunFig1(Fig1Config{Seed: 7, Clients: []int{1, 64, 192}, BlobMB: 16, Runs: 2})
-		for _, p := range r.Points {
-			g.i64(int64(p.Clients))
-			g.f64(p.DownMBps)
-			g.f64(p.DownAggMBps)
-			g.f64(p.UpMBps)
-			g.f64(p.UpAggMBps)
-			g.f64(p.DownMBpsStddev)
-		}
-		out["fig1/seed7"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunFig2(Fig2Config{Seed: 42, Clients: []int{1, 8, 64}, EntitySize: 4096,
-			Inserts: 40, Queries: 40, Updates: 20})
-		for _, p := range r.Points {
-			g.i64(int64(p.Clients))
-			g.f64(p.InsertOps)
-			g.f64(p.QueryOps)
-			g.f64(p.UpdateOps)
-			g.f64(p.DeleteOps)
-			g.i64(int64(p.InsertSurvivors))
-			g.i64(int64(p.DeleteSurvivors))
-		}
-		out["fig2/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunFig3(Fig3Config{Seed: 42, Clients: []int{1, 16, 64, 192}, MsgSize: 512, OpsEach: 25})
-		for _, p := range r.Points {
-			g.i64(int64(p.Clients))
-			g.f64(p.AddOps)
-			g.f64(p.PeekOps)
-			g.f64(p.ReceiveOps)
-		}
-		out["fig3/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunTCP(TCPConfig{Seed: 42, LatencySamples: 500, BandwidthPairs: 40, TransfersPer: 2})
-		for _, v := range r.LatencyMS.Values() {
-			g.f64(v)
-		}
-		for _, v := range r.BandwidthMBps.Values() {
-			g.f64(v)
-		}
-		out["tcp/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunReplication(ReplicationConfig{Seed: 42, Clients: 64, BlobMB: 32, Replicas: []int{1, 4}})
-		for _, p := range r.Points {
-			g.i64(int64(p.Replicas))
-			g.f64(p.PerClientMBps)
-			g.f64(p.AggregateMBps)
-			g.f64(p.SpeedupVsOne)
-			g.i64(int64(p.PerBlobClients))
-		}
-		out["replication/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunTable1(Table1Config{Seed: 42, Runs: 16})
-		// Hash a fixed cell list rather than map iteration order.
-		for _, role := range []fabric.Role{fabric.Worker, fabric.Web} {
-			for _, size := range []fabric.Size{fabric.Small, fabric.Medium, fabric.Large, fabric.ExtraLarge} {
-				for _, phase := range []string{"Create", "Run", "Add", "Suspend", "Delete"} {
-					s := r.Cell(role, size, phase)
-					g.i64(int64(s.N()))
-					g.f64(s.Mean())
-					g.f64(s.Std())
-				}
-			}
-		}
-		for _, v := range r.FirstReadyWorkerSmall.Values() {
-			g.f64(v)
-		}
-		for _, v := range r.FirstReadyWebSmall.Values() {
-			g.f64(v)
-		}
-		g.i64(int64(r.SuccessRuns))
-		g.i64(int64(r.FailedRuns))
-		out["table1/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunPropFilter(PropFilterConfig{Seed: 42, Entities: 60000, Clients: []int{1, 32}})
-		for _, p := range r.Points {
-			g.i64(int64(p.Clients))
-			g.i64(int64(p.Queries))
-			g.i64(int64(p.Timeouts))
-			g.f64(p.MeanLatency)
-		}
-		out["propfilter/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunQueueDepth(42, 5000, 50000)
-		g.f64(r.SmallRate)
-		g.f64(r.LargeRate)
-		out["queuedepth/seed42"] = g.sum()
-	}
-	{
-		g := newGoldenHasher()
-		r := RunSQLCompare(SQLCompareConfig{Seed: 42, Clients: []int{1, 64}, OpsEach: 25})
-		for _, p := range r.Points {
-			g.i64(int64(p.Clients))
-			g.f64(p.SQLInsertOps)
-			g.f64(p.SQLSelectOps)
-			g.f64(p.TableInsertOps)
-			g.f64(p.TableQueryOps)
-			g.i64(int64(p.ThrottledOpens))
-			g.i64(int64(p.ConnectedOpens))
-		}
-		out["sqlcompare/seed42"] = g.sum()
+		encodeResult(g, r)
+		out[k] = g.sum()
 	}
 	return out
 }
@@ -212,7 +240,7 @@ func TestTraceGoldens(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trace goldens are slow")
 	}
-	got := traceHashes()
+	got := traceHashes(1)
 	if os.Getenv("GOLDEN_PRINT") != "" {
 		for _, k := range sortedKeys(got) {
 			fmt.Printf("\t%q: %#016x,\n", k, got[k])
@@ -226,6 +254,20 @@ func TestTraceGoldens(t *testing.T) {
 		}
 		if got[k] != want {
 			t.Errorf("trace %s = %#016x, want %#016x (simulation no longer bit-identical)", k, got[k], want)
+		}
+	}
+}
+
+// TestTraceGoldensParallel is the scheduler's sharpest acceptance test: the
+// same golden hashes must come out of a 4-wide pool.
+func TestTraceGoldensParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace goldens are slow")
+	}
+	got := traceHashes(4)
+	for _, k := range sortedKeys(got) {
+		if want := goldenTraces[k]; got[k] != want {
+			t.Errorf("trace %s at 4 workers = %#016x, want %#016x (parallel run not bit-identical)", k, got[k], want)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"azureobs/internal/azure"
+	"azureobs/internal/core/sched"
 	"azureobs/internal/fabric"
 	"azureobs/internal/sim"
 	"azureobs/internal/storage/storerr"
@@ -15,15 +16,16 @@ import (
 // concurrency. The paper observed over half of 32 concurrent clients timing
 // out.
 type PropFilterConfig struct {
-	Seed      uint64
+	Proto
 	Entities  int // partition population (paper: ~220k)
-	Clients   []int
 	PerClient int // filter queries per client
 }
 
 // DefaultPropFilterConfig is the paper-scale protocol.
 func DefaultPropFilterConfig() PropFilterConfig {
-	return PropFilterConfig{Seed: 42, Entities: 220000, Clients: []int{1, 8, 32}, PerClient: 1}
+	p := Defaults()
+	p.Clients = []int{1, 8, 32}
+	return PropFilterConfig{Proto: p, Entities: 220000, PerClient: 1}
 }
 
 // PropFilterPoint is the outcome at one concurrency level.
@@ -40,7 +42,8 @@ type PropFilterResult struct {
 	Points   []PropFilterPoint
 }
 
-// RunPropFilter executes the property-filter ablation.
+// RunPropFilter executes the property-filter ablation. Each concurrency
+// level populates its own cloud, so levels shard over cfg.Workers.
 func RunPropFilter(cfg PropFilterConfig) *PropFilterResult {
 	if cfg.Entities == 0 {
 		cfg.Entities = 220000
@@ -52,49 +55,54 @@ func RunPropFilter(cfg PropFilterConfig) *PropFilterResult {
 		cfg.PerClient = 1
 	}
 	res := &PropFilterResult{Entities: cfg.Entities}
-	for _, n := range cfg.Clients {
-		ccfg := azure.Config{Seed: cfg.Seed + uint64(n)}
-		ccfg.Fabric = fabric.DefaultConfig()
-		ccfg.Fabric.Degradation = false
-		cloud := azure.NewCloud(ccfg)
-		cloud.Table.CreateTable("bench")
-		for i := 0; i < cfg.Entities; i++ {
-			e := &tablesvc.Entity{
-				PartitionKey: "part",
-				RowKey:       fmt.Sprintf("row-%06d", i),
-				Props:        map[string]tablesvc.Prop{"A": tablesvc.IntProp(int64(i % 100))},
-			}
-			cloud.Table.Backdoor("bench", e)
-		}
-		pt := PropFilterPoint{Clients: n}
-		var okCount int
-		var okSec float64
-		for c := 0; c < n; c++ {
-			cloud.Engine.Spawn("scan", func(p *sim.Proc) {
-				for i := 0; i < cfg.PerClient; i++ {
-					start := p.Now()
-					_, err := cloud.Table.QueryFilter(p, "bench", "part",
-						func(e *tablesvc.Entity) bool { return e.Props["A"].Int == 7 })
-					pt.Queries++
-					if storerr.IsCode(err, storerr.CodeTimeout) {
-						pt.Timeouts++
-						continue
-					}
-					if err != nil {
-						panic(err)
-					}
-					okCount++
-					okSec += (p.Now() - start).Seconds()
-				}
-			})
-		}
-		cloud.Engine.Run()
-		if okCount > 0 {
-			pt.MeanLatency = okSec / float64(okCount)
-		}
-		res.Points = append(res.Points, pt)
-	}
+	pool := sched.New(cfg.Workers)
+	res.Points = sched.Map(pool, len(cfg.Clients), func(li int) PropFilterPoint {
+		return runPropFilterLevel(cfg, cfg.Clients[li])
+	})
 	return res
+}
+
+func runPropFilterLevel(cfg PropFilterConfig, n int) PropFilterPoint {
+	ccfg := azure.Config{Seed: cfg.Seed + uint64(n)}
+	ccfg.Fabric = fabric.DefaultConfig()
+	ccfg.Fabric.Degradation = false
+	cloud := azure.NewCloud(ccfg)
+	cloud.Table.CreateTable("bench")
+	for i := 0; i < cfg.Entities; i++ {
+		e := &tablesvc.Entity{
+			PartitionKey: "part",
+			RowKey:       fmt.Sprintf("row-%06d", i),
+			Props:        map[string]tablesvc.Prop{"A": tablesvc.IntProp(int64(i % 100))},
+		}
+		cloud.Table.Backdoor("bench", e)
+	}
+	pt := PropFilterPoint{Clients: n}
+	var okCount int
+	var okSec float64
+	for c := 0; c < n; c++ {
+		cloud.Engine.Spawn("scan", func(p *sim.Proc) {
+			for i := 0; i < cfg.PerClient; i++ {
+				start := p.Now()
+				_, err := cloud.Table.QueryFilter(p, "bench", "part",
+					func(e *tablesvc.Entity) bool { return e.Props["A"].Int == 7 })
+				pt.Queries++
+				if storerr.IsCode(err, storerr.CodeTimeout) {
+					pt.Timeouts++
+					continue
+				}
+				if err != nil {
+					panic(err)
+				}
+				okCount++
+				okSec += (p.Now() - start).Seconds()
+			}
+		})
+	}
+	cloud.Engine.Run()
+	if okCount > 0 {
+		pt.MeanLatency = okSec / float64(okCount)
+	}
+	return pt
 }
 
 // Anchors compares against the Section 6.1 claim.

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Experiment is one runnable artifact of the paper's evaluation. Every
+// experiment registers itself here so drivers (cmd/azbench, cmd/azvalidate)
+// select by name instead of each maintaining its own figure list.
+type Experiment interface {
+	// Name is the registry key ("fig1", "table1", …).
+	Name() string
+	// Run expands the Proto into the experiment's concrete config at the
+	// requested Scale and executes it, sharding independent cells over
+	// Proto.Workers scheduler workers.
+	Run(Proto) Result
+}
+
+// Result is an experiment outcome. Every result can report its
+// paper-vs-measured anchor points; experiments without published numbers
+// return an empty set.
+type Result interface {
+	Anchors() []Anchor
+}
+
+var (
+	regMu   sync.RWMutex
+	regList []Experiment // registration order — the canonical run order
+	regMap  = map[string]Experiment{}
+)
+
+// Register adds an experiment to the registry. It panics on duplicate
+// names: two experiments claiming one name is a programming error the
+// drivers could otherwise silently mask.
+func Register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regMap[e.Name()]; dup {
+		panic(fmt.Sprintf("core: duplicate experiment %q", e.Name()))
+	}
+	regMap[e.Name()] = e
+	regList = append(regList, e)
+}
+
+// Lookup returns the experiment registered under name.
+func Lookup(name string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := regMap[name]
+	return e, ok
+}
+
+// Names lists the registered experiment names in registration order (the
+// order `azbench -run all` executes them).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regList))
+	for i, e := range regList {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// Experiments returns the registered experiments in registration order.
+func Experiments() []Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]Experiment(nil), regList...)
+}
+
+// experiment is the standard adapter: a name plus a Proto-expanding run
+// function.
+type experiment struct {
+	name string
+	run  func(Proto) Result
+}
+
+func (e experiment) Name() string       { return e.name }
+func (e experiment) Run(p Proto) Result { return e.run(p) }
+
+func init() {
+	Register(experiment{"fig1", func(p Proto) Result { return RunFig1(Fig1ConfigFor(p)) }})
+	Register(experiment{"fig2", func(p Proto) Result { return RunFig2(Fig2ConfigFor(p)) }})
+	Register(experiment{"fig3", func(p Proto) Result { return RunFig3(Fig3ConfigFor(p)) }})
+	Register(experiment{"table1", func(p Proto) Result { return RunTable1(Table1ConfigFor(p)) }})
+	Register(experiment{"tcp", func(p Proto) Result { return RunTCP(TCPConfigFor(p)) }})
+	Register(experiment{"propfilter", func(p Proto) Result { return RunPropFilter(PropFilterConfigFor(p)) }})
+	Register(experiment{"queuedepth", func(p Proto) Result { return RunQueueDepth(QueueDepthConfigFor(p)) }})
+	Register(experiment{"replication", func(p Proto) Result { return RunReplication(ReplicationConfigFor(p)) }})
+	Register(experiment{"sqlcompare", func(p Proto) Result { return RunSQLCompare(SQLCompareConfigFor(p)) }})
+	Register(experiment{"startup", func(p Proto) Result { return RunStartupScaling(StartupConfigFor(p)) }})
+	Register(experiment{"fig2sizes", func(p Proto) Result {
+		return RunFig2Sizes(Fig2SizesBaseFor(p), PaperEntitySizes())
+	}})
+	Register(experiment{"fig3sizes", func(p Proto) Result {
+		return RunFig3Sizes(Fig3SizesBaseFor(p), PaperMessageSizes())
+	}})
+}

@@ -1,0 +1,148 @@
+// Package sched runs independent, deterministic experiment cells over a
+// bounded worker pool.
+//
+// The contract that keeps parallel runs bit-identical to serial ones is
+// isolation: a cell must derive everything it needs (sim engine, cloud,
+// RNG streams) from its own index and seed, and share no mutable state
+// with any other cell. Every experiment in internal/core already builds a
+// fresh simulated cloud per cell with a seed computed from the cell's
+// coordinates alone, so the pool only owns dispatch, bounded concurrency,
+// ordered result collection, and wall-clock/utilization accounting — it
+// changes when a cell runs, never what it computes.
+//
+// With one worker, Map degenerates to a plain serial loop on the caller's
+// goroutine: no channels, no goroutines, no nondeterminism of any kind.
+// That path is the reference the golden traces are captured against; the
+// parallel path must (and, by the isolation contract, provably does)
+// reproduce it bit for bit.
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Pool is a bounded-width dispatcher for independent experiment cells.
+// A Pool may be reused across Map calls; its Stats accumulate.
+type Pool struct {
+	workers int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats is the pool's wall-clock and utilization accounting.
+type Stats struct {
+	Cells int           // cells executed across all Map calls
+	Busy  time.Duration // summed per-cell execution time
+	Wall  time.Duration // summed Map wall time
+}
+
+// Utilization is the fraction of the pool's worker-seconds spent inside
+// cells: Busy / (workers × Wall). Serial pools score ~1 by construction;
+// a parallel pool scores low when cells are too few or too uneven to keep
+// every worker busy.
+func (s Stats) Utilization(workers int) float64 {
+	if s.Wall <= 0 || workers < 1 {
+		return 0
+	}
+	return s.Busy.Seconds() / (float64(workers) * s.Wall.Seconds())
+}
+
+// New returns a pool of the given width. Widths below 1 clamp to 1
+// (serial), so a zero-valued Workers knob always means "today's behaviour".
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *Pool) account(cells int, busy, wall time.Duration) {
+	p.mu.Lock()
+	p.stats.Cells += cells
+	p.stats.Busy += busy
+	p.stats.Wall += wall
+	p.mu.Unlock()
+}
+
+// Map runs fn(0) … fn(n-1) over the pool and returns the results in index
+// order regardless of completion order. Cells must be independent (see the
+// package comment); under that contract the returned slice is identical
+// for every pool width.
+//
+// A panicking cell stops dispatch of not-yet-started cells, and the first
+// panic value is re-raised on the caller's goroutine once in-flight cells
+// drain — matching the serial path, where a cell panic unwinds Map itself.
+func Map[T any](p *Pool, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	start := time.Now()
+	if p.workers == 1 || n <= 1 {
+		var busy time.Duration
+		defer func() { p.account(n, busy, time.Since(start)) }()
+		for i := 0; i < n; i++ {
+			cellStart := time.Now()
+			out[i] = fn(i)
+			busy += time.Since(cellStart)
+		}
+		return out
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg        sync.WaitGroup
+		idx       = make(chan int)
+		panicked  any
+		panicOnce sync.Once
+		abort     = make(chan struct{})
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								panicked = r
+								close(abort)
+							})
+						}
+					}()
+					cellStart := time.Now()
+					out[i] = fn(i)
+					p.account(1, time.Since(cellStart), 0)
+				}()
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-abort:
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	p.account(0, 0, time.Since(start))
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}

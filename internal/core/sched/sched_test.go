@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewClampsWidth(t *testing.T) {
+	for _, w := range []int{-3, 0, 1} {
+		if got := New(w).Workers(); got != 1 {
+			t.Fatalf("New(%d).Workers() = %d, want 1", w, got)
+		}
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		p := New(w)
+		got := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	p := New(4)
+	if got := Map(p, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("empty map returned %v", got)
+	}
+	if got := Map(p, 1, func(i int) string { return "x" }); got[0] != "x" {
+		t.Fatalf("single map returned %v", got)
+	}
+}
+
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	var calls [64]int32
+	p := New(8)
+	Map(p, len(calls), func(i int) struct{} {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	p := New(workers)
+	Map(p, 30, func(i int) struct{} {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return struct{}{}
+	})
+	if got := atomic.LoadInt32(&peak); got > workers {
+		t.Fatalf("observed %d concurrent cells, pool width %d", got, workers)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		p := New(w)
+		func() {
+			defer func() {
+				if r := recover(); r != "cell 3 exploded" {
+					t.Fatalf("workers=%d: recovered %v", w, r)
+				}
+			}()
+			Map(p, 8, func(i int) int {
+				if i == 3 {
+					panic("cell 3 exploded")
+				}
+				return i
+			})
+			t.Fatalf("workers=%d: Map returned after panic", w)
+		}()
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(2)
+	Map(p, 10, func(i int) struct{} {
+		time.Sleep(time.Millisecond)
+		return struct{}{}
+	})
+	st := p.Stats()
+	if st.Cells != 10 {
+		t.Fatalf("Cells = %d, want 10", st.Cells)
+	}
+	if st.Busy < 10*time.Millisecond {
+		t.Fatalf("Busy = %v, want ≥ 10ms", st.Busy)
+	}
+	if st.Wall <= 0 {
+		t.Fatalf("Wall = %v", st.Wall)
+	}
+	u := st.Utilization(p.Workers())
+	if u <= 0 || u > 1.5 { // loose: timers are coarse under CI load
+		t.Fatalf("Utilization = %v", u)
+	}
+	if (Stats{}).Utilization(4) != 0 {
+		t.Fatal("zero stats should report zero utilization")
+	}
+}
+
+// TestMapDeterministicAcrossWidths is the pool-level statement of the
+// bit-identity contract: independent cells produce the same result slice
+// at any width.
+func TestMapDeterministicAcrossWidths(t *testing.T) {
+	cell := func(i int) uint64 {
+		// A cell-local PRNG seeded only by the cell index.
+		x := uint64(i)*2862933555777941757 + 3037000493
+		for k := 0; k < 1000; k++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		return x
+	}
+	want := Map(New(1), 64, cell)
+	for _, w := range []int{2, 4, 8} {
+		got := Map(New(w), 64, cell)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: cell %d diverged", w, i)
+			}
+		}
+	}
+}

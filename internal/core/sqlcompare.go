@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"azureobs/internal/azure"
+	"azureobs/internal/core/sched"
 	"azureobs/internal/fabric"
 	"azureobs/internal/sim"
 	"azureobs/internal/storage/sqlsvc"
@@ -19,15 +20,16 @@ import (
 // qualitative contrast — a connection-capped relational tier versus the
 // shared-nothing table service.
 type SQLCompareConfig struct {
-	Seed    uint64
-	Clients []int
+	Proto
 	RowSize int
 	OpsEach int
 }
 
 // DefaultSQLCompareConfig mirrors the table experiment's ladder.
 func DefaultSQLCompareConfig() SQLCompareConfig {
-	return SQLCompareConfig{Seed: 42, Clients: []int{1, 8, 32, 64, 128}, RowSize: 1024, OpsEach: 100}
+	p := Defaults()
+	p.Clients = []int{1, 8, 32, 64, 128}
+	return SQLCompareConfig{Proto: p, RowSize: 1024, OpsEach: 100}
 }
 
 // SQLComparePoint is the outcome at one concurrency level.
@@ -46,7 +48,8 @@ type SQLCompareResult struct {
 	Points []SQLComparePoint
 }
 
-// RunSQLCompare executes the comparison.
+// RunSQLCompare executes the comparison. Each ladder level is an isolated
+// pair of clouds and shards over cfg.Workers.
 func RunSQLCompare(cfg SQLCompareConfig) *SQLCompareResult {
 	if cfg.Clients == nil {
 		cfg.Clients = DefaultSQLCompareConfig().Clients
@@ -58,10 +61,24 @@ func RunSQLCompare(cfg SQLCompareConfig) *SQLCompareResult {
 		cfg.OpsEach = 100
 	}
 	res := &SQLCompareResult{}
-	for _, n := range cfg.Clients {
-		res.Points = append(res.Points, runSQLCompareLevel(cfg, n))
-	}
+	pool := sched.New(cfg.Workers)
+	res.Points = sched.Map(pool, len(cfg.Clients), func(i int) SQLComparePoint {
+		return runSQLCompareLevel(cfg, cfg.Clients[i])
+	})
 	return res
+}
+
+// Anchors reports the comparison's qualitative claims: the table tier keeps
+// accepting clients past the point where SQL Azure throttles connections.
+func (r *SQLCompareResult) Anchors() []Anchor {
+	var out []Anchor
+	for _, pt := range r.Points {
+		if pt.Clients == 128 {
+			out = append(out, Anchor{"SQL throttled opens @128 (>0)", "clients", 64,
+				float64(pt.ThrottledOpens)})
+		}
+	}
+	return out
 }
 
 func runSQLCompareLevel(cfg SQLCompareConfig, n int) SQLComparePoint {

@@ -15,16 +15,19 @@ import (
 // instance adds the observed 60-100 s serial readiness lag (Section 4.1
 // observation 3: "Azure does not serve a request for multiple VMs at the
 // same time"), so large deployments pay startup nearly linear in size.
+// All sizes share one cloud (deployments reuse the warmed fabric), so the
+// sweep is a single cell: it never parallelizes internally.
 type StartupScalingConfig struct {
-	Seed  uint64
+	Proto       // Runs: samples per size
 	Sizes []int // instance counts to sweep
-	Runs  int   // samples per size
 	Role  fabric.Role
 }
 
 // DefaultStartupScalingConfig sweeps 1-16 small workers.
 func DefaultStartupScalingConfig() StartupScalingConfig {
-	return StartupScalingConfig{Seed: 42, Sizes: []int{1, 2, 4, 8, 16}, Runs: 20, Role: fabric.Worker}
+	p := Defaults()
+	p.Runs = 20
+	return StartupScalingConfig{Proto: p, Sizes: []int{1, 2, 4, 8, 16}, Role: fabric.Worker}
 }
 
 // StartupScalingPoint is one deployment size's readiness statistics.
@@ -100,4 +103,13 @@ func (r *StartupScalingResult) MarginalSecondsPerInstance() float64 {
 	}
 	a, b := r.Points[0], r.Points[len(r.Points)-1]
 	return (b.AllReady.Mean() - a.AllReady.Mean()) / float64(b.Instances-a.Instances)
+}
+
+// Anchors compares the fitted serial readiness lag against the 60-100 s
+// per-instance figure of Section 4.1.
+func (r *StartupScalingResult) Anchors() []Anchor {
+	if len(r.Points) < 2 {
+		return nil
+	}
+	return []Anchor{{"marginal startup lag per instance", "s", 80, r.MarginalSecondsPerInstance()}}
 }

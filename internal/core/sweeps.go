@@ -1,5 +1,7 @@
 package core
 
+import "azureobs/internal/core/sched"
+
 // Size sweeps: the paper ran the table experiment at entity sizes 1, 4, 16
 // and 64 kB and the queue experiment at message sizes 512 B, 1, 4 and 8 kB,
 // reporting that "the shape of the performance curves for different entity
@@ -20,18 +22,50 @@ type Fig2SizeSweep struct {
 }
 
 // RunFig2Sizes executes the entity-size sweep with a shared base config.
+// The (size, level) grid is flattened into one pool so a sweep saturates
+// base.Workers even when single sizes have few ladder levels.
 func RunFig2Sizes(base Fig2Config, sizes []int) *Fig2SizeSweep {
 	if sizes == nil {
 		sizes = PaperEntitySizes()
 	}
-	sw := &Fig2SizeSweep{Sizes: sizes}
-	for _, s := range sizes {
+	cfgs := make([]Fig2Config, len(sizes))
+	for si, s := range sizes {
 		cfg := base
 		cfg.EntitySize = s
 		cfg.Seed = base.Seed + uint64(s)
-		sw.Results = append(sw.Results, RunFig2(cfg))
+		cfgs[si] = cfg.withDefaults()
+	}
+	levels := len(cfgs[0].Clients)
+	pool := sched.New(base.Workers)
+	pts := sched.Map(pool, len(sizes)*levels, func(i int) Fig2Point {
+		cfg := cfgs[i/levels]
+		return runFig2Level(cfg, cfg.Clients[i%levels])
+	})
+	sw := &Fig2SizeSweep{Sizes: sizes}
+	for si, s := range sizes {
+		sw.Results = append(sw.Results, &Fig2Result{
+			EntitySize: s,
+			Points:     pts[si*levels : (si+1)*levels],
+		})
 	}
 	return sw
+}
+
+// Anchors reports the sweep's headline claim: the concurrency curves keep
+// their shape across entity sizes (worst insert-curve deviation vs the
+// smallest size, as a percentage — the paper says the shapes are similar).
+func (sw *Fig2SizeSweep) Anchors() []Anchor {
+	if len(sw.Results) < 2 {
+		return nil
+	}
+	worst := 0.0
+	base := sw.Results[0].QueryCurve()
+	for _, r := range sw.Results[1:] {
+		if d := ShapeSimilarity(base, r.QueryCurve()); d > worst {
+			worst = d
+		}
+	}
+	return []Anchor{{"worst query-curve shape deviation across sizes", "%", 0, worst * 100}}
 }
 
 // ShapeSimilarity quantifies how similar two concurrency curves are:
@@ -101,19 +135,48 @@ type Fig3SizeSweep struct {
 	Results []*Fig3Result
 }
 
-// RunFig3Sizes executes the message-size sweep with a shared base config.
+// RunFig3Sizes executes the message-size sweep with a shared base config,
+// flattening the (size, level) grid as in RunFig2Sizes.
 func RunFig3Sizes(base Fig3Config, sizes []int) *Fig3SizeSweep {
 	if sizes == nil {
 		sizes = PaperMessageSizes()
 	}
-	sw := &Fig3SizeSweep{Sizes: sizes}
-	for _, s := range sizes {
+	cfgs := make([]Fig3Config, len(sizes))
+	for si, s := range sizes {
 		cfg := base
 		cfg.MsgSize = s
 		cfg.Seed = base.Seed + uint64(s)
-		sw.Results = append(sw.Results, RunFig3(cfg))
+		cfgs[si] = cfg.withDefaults()
+	}
+	levels := len(cfgs[0].Clients)
+	pool := sched.New(base.Workers)
+	pts := sched.Map(pool, len(sizes)*levels, func(i int) Fig3Point {
+		cfg := cfgs[i/levels]
+		return runFig3Level(cfg, cfg.Clients[i%levels])
+	})
+	sw := &Fig3SizeSweep{Sizes: sizes}
+	for si, s := range sizes {
+		sw.Results = append(sw.Results, &Fig3Result{
+			MsgSize: s,
+			Points:  pts[si*levels : (si+1)*levels],
+		})
 	}
 	return sw
+}
+
+// Anchors mirrors Fig2SizeSweep.Anchors for the queue sweep.
+func (sw *Fig3SizeSweep) Anchors() []Anchor {
+	if len(sw.Results) < 2 {
+		return nil
+	}
+	worst := 0.0
+	base := sw.Results[0].ReceiveCurve()
+	for _, r := range sw.Results[1:] {
+		if d := ShapeSimilarity(base, r.ReceiveCurve()); d > worst {
+			worst = d
+		}
+	}
+	return []Anchor{{"worst receive-curve shape deviation across sizes", "%", 0, worst * 100}}
 }
 
 // AddCurve extracts the per-client Add rates.

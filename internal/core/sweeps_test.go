@@ -37,7 +37,7 @@ func TestMedianOf(t *testing.T) {
 // 1 kB vs 16 kB at modest scale and require point-wise shape agreement
 // within 35% for insert and query.
 func TestFig2ShapesSimilarAcrossEntitySizes(t *testing.T) {
-	base := Fig2Config{Seed: 5, Clients: []int{1, 8, 32, 96}, Inserts: 40, Queries: 40, Updates: 10}
+	base := Fig2Config{Proto: Proto{Seed: 5, Clients: []int{1, 8, 32, 96}}, Inserts: 40, Queries: 40, Updates: 10}
 	sw := RunFig2Sizes(base, []int{1024, 16384})
 	small, large := sw.Results[0], sw.Results[1]
 	if s := ShapeSimilarity(small.InsertCurve(), large.InsertCurve()); s > 0.35 {
@@ -55,7 +55,7 @@ func TestFig2ShapesSimilarAcrossEntitySizes(t *testing.T) {
 // TestFig3ShapesSimilarAcrossMessageSizes reproduces Section 3.3: "the shape
 // of the performance curve for each message size is very similar".
 func TestFig3ShapesSimilarAcrossMessageSizes(t *testing.T) {
-	base := Fig3Config{Seed: 5, Clients: []int{1, 16, 64, 128}, OpsEach: 30}
+	base := Fig3Config{Proto: Proto{Seed: 5, Clients: []int{1, 16, 64, 128}}, OpsEach: 30}
 	sw := RunFig3Sizes(base, []int{512, 8192})
 	small, large := sw.Results[0], sw.Results[1]
 	if s := ShapeSimilarity(small.AddCurve(), large.AddCurve()); s > 0.3 {
@@ -76,7 +76,7 @@ func TestFig3ShapesSimilarAcrossMessageSizes(t *testing.T) {
 // TestFig2SixtyFourKExceptionOnly64k verifies the published exception: the
 // overload timeouts appear at 64 kB with 128 clients but not at 16 kB.
 func TestFig2SixtyFourKExceptionOnly64k(t *testing.T) {
-	base := Fig2Config{Seed: 5, Clients: []int{128}, Inserts: 300, Queries: 1, Updates: 1}
+	base := Fig2Config{Proto: Proto{Seed: 5, Clients: []int{128}}, Inserts: 300, Queries: 1, Updates: 1}
 	sw := RunFig2Sizes(base, []int{16384, 65536})
 	if s := sw.Results[0].Points[0].InsertSurvivors; s != 128 {
 		t.Fatalf("16 kB @128: %d/128 finished; overload should not trigger", s)

@@ -16,13 +16,18 @@ import (
 // deployment sized to fit the 20-core quota while allowing doubling, then
 // times create → run → add (doubling) → suspend → delete. 431 successful
 // runs were collected; the startup failure rate was 2.6%.
+// All runs share one cloud and one pick stream, so the experiment is a
+// single cell: it never parallelizes internally, only across experiments.
 type Table1Config struct {
-	Seed uint64
-	Runs int // successful runs to collect (paper: 431)
+	Proto // Runs: successful runs to collect (paper: 431)
 }
 
 // DefaultTable1Config is the paper-scale protocol.
-func DefaultTable1Config() Table1Config { return Table1Config{Seed: 42, Runs: 431} }
+func DefaultTable1Config() Table1Config {
+	p := Defaults()
+	p.Runs = 431
+	return Table1Config{Proto: p}
+}
 
 // PhaseKey identifies one cell of Table 1.
 type PhaseKey struct {

@@ -14,8 +14,10 @@ import (
 // 10,000 total measurements. Because our per-host placement quality is
 // static, pairs are re-drawn from a fleet between measurements to expose the
 // placement distribution the paper sampled over days.
+// Both measurements share one cloud and one pair-draw stream, so the
+// experiment is a single cell: it never parallelizes internally.
 type TCPConfig struct {
-	Seed            uint64
+	Proto
 	LatencySamples  int   // paper: ~10,000 across the latency pairs
 	BandwidthPairs  int   // distinct VM pairs sampled for bandwidth
 	TransfersPer    int   // transfers per pair
@@ -27,7 +29,7 @@ type TCPConfig struct {
 // DefaultTCPConfig is the paper-scale protocol.
 func DefaultTCPConfig() TCPConfig {
 	return TCPConfig{
-		Seed:           42,
+		Proto:          Defaults(),
 		LatencySamples: 10000,
 		BandwidthPairs: 200,
 		TransfersPer:   5,

@@ -2,6 +2,8 @@ package modis
 
 import (
 	"time"
+
+	"azureobs/internal/core/sched"
 )
 
 // KillAblationPoint summarises one campaign run at a given kill multiple.
@@ -24,25 +26,27 @@ type KillAblationPoint struct {
 // kill multiples and reports the waste/false-kill trade-off. Tighter bounds
 // kill degraded executions sooner (less wasted compute per kill) but begin
 // killing healthy stragglers; looser bounds waste more per kill.
-func RunKillAblation(base Config, multiples []float64) []KillAblationPoint {
+//
+// Each multiple runs an identical, independently-seeded campaign, so the
+// points shard over workers scheduler workers (≤1 = serial) with results
+// identical at any width.
+func RunKillAblation(base Config, multiples []float64, workers int) []KillAblationPoint {
 	if multiples == nil {
 		multiples = []float64{2, 3, 4, 6}
 	}
-	out := make([]KillAblationPoint, 0, len(multiples))
-	for _, k := range multiples {
+	pool := sched.New(workers)
+	return sched.Map(pool, len(multiples), func(i int) KillAblationPoint {
 		cfg := base
-		cfg.KillMultiple = k
-		c := NewCampaign(cfg)
-		st := c.Run()
-		out = append(out, KillAblationPoint{
-			KillMultiple: k,
+		cfg.KillMultiple = multiples[i]
+		st := NewCampaign(cfg).Run()
+		return KillAblationPoint{
+			KillMultiple: multiples[i],
 			Timeouts:     st.Outcomes.Get(string(OutcomeVMTimeout)),
 			FalseKills:   st.FalseKills,
 			WastedHours:  st.WastedSeconds / 3600,
 			TotalExecs:   st.TotalExecs(),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // recordKill accounts a killed execution for the ablation metrics.

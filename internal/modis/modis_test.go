@@ -274,7 +274,7 @@ func TestKillAblation(t *testing.T) {
 		SlowLo: 4.5, SlowHi: 6.5,
 		DurLo: 6 * time.Hour, DurHi: 18 * time.Hour,
 	}
-	pts := RunKillAblation(base, []float64{2, 4, 8})
+	pts := RunKillAblation(base, []float64{2, 4, 8}, 2)
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}

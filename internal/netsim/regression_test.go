@@ -30,7 +30,7 @@ func runBounded(t *testing.T, eng *sim.Engine, maxEvents int) {
 func TestSubNanosecondResidualTerminates(t *testing.T) {
 	eng := sim.NewEngine()
 	fab := NewFabric(eng)
-	l := fab.NewLink("fast", Bandwidth(1.7) * GBps)
+	l := fab.NewLink("fast", Bandwidth(1.7)*GBps)
 	fl := fab.StartFlow(1001, l)
 	runBounded(t, eng, 100)
 	if fab.ActiveFlows() != 0 {
@@ -51,7 +51,7 @@ func TestSubNanosecondResidualTerminates(t *testing.T) {
 func TestSameInstantRateChangeTerminates(t *testing.T) {
 	eng := sim.NewEngine()
 	fab := NewFabric(eng)
-	l := fab.NewLink("shared", 2 * GBps)
+	l := fab.NewLink("shared", 2*GBps)
 	fab.StartFlow(1000, l)
 	fb := fab.StartFlow(2001, l)
 	var doneAt time.Duration = -1
