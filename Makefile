@@ -1,9 +1,10 @@
 # Pre-merge gate: `make check` must pass before any merge. It builds
-# everything, vets, runs the full test suite under the race detector, and
-# smoke-runs every benchmark once so the bench harness can never rot.
-.PHONY: check build vet test bench-smoke bench netbench storagebench schedbench validate
+# everything, vets, runs the full test suite under the race detector,
+# smoke-runs every benchmark once so the bench harness can never rot, and
+# gives each fuzz target a short live-fuzz burst beyond its seed corpus.
+.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench validate
 
-check: build vet test bench-smoke
+check: build vet test bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -17,6 +18,12 @@ test:
 # One iteration of every benchmark — correctness of the harness, not timing.
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# 30 seconds of live fuzzing per target. The checked-in seed corpora under
+# testdata/fuzz/ always run as part of `make test`; this adds fresh inputs.
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzFaultConfig$$' -fuzztime 30s ./internal/storage/reqpath
+	go test -run '^$$' -fuzz '^FuzzRetryClassify$$' -fuzztime 30s ./internal/azure
 
 # Full timed microbenchmarks (internal/netsim flow churn + sweeps).
 bench:

@@ -27,30 +27,38 @@ import (
 	"azureobs/internal/metrics"
 	"azureobs/internal/report"
 	"azureobs/internal/svgplot"
+
+	// Experiments registered outside core (chaosreport) reach the registry
+	// through the packages that define them.
+	_ "azureobs/internal/modis"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:])) }
+
+// run is the testable entry point: cmd smoke tests drive it in-process.
+func run(args []string) int {
+	fs := flag.NewFlagSet("azbench", flag.ExitOnError)
 	var (
-		run     = flag.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench")
-		seed    = flag.Uint64("seed", 42, "root random seed")
-		quick   = flag.Bool("quick", false, "reduced scale for fast runs")
-		workers = flag.Int("workers", 1, "scheduler width: independent experiment cells run on this many goroutines (1 = serial; results are bit-identical at any width)")
-		entity  = flag.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
-		msg     = flag.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		svgDir  = flag.String("svg", "", "also write SVG figures into this directory")
-		bench   = flag.String("benchout", "", "output path for the netbench/storagebench/schedbench artifact (default BENCH_<suite>.json)")
+		runName = fs.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench")
+		seed    = fs.Uint64("seed", 42, "root random seed")
+		quick   = fs.Bool("quick", false, "reduced scale for fast runs")
+		workers = fs.Int("workers", 1, "scheduler width: independent experiment cells run on this many goroutines (1 = serial; results are bit-identical at any width)")
+		entity  = fs.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
+		msg     = fs.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir  = fs.String("svg", "", "also write SVG figures into this directory")
+		bench   = fs.String("benchout", "", "output path for the netbench/storagebench/schedbench artifact (default BENCH_<suite>.json)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	figures = *svgDir
 
-	which := strings.ToLower(*run)
+	which := strings.ToLower(*runName)
 	emit := func(t *report.Table) {
 		if *csv {
 			t.CSV(os.Stdout)
@@ -69,21 +77,21 @@ func main() {
 			out = "BENCH_netsim.json"
 		}
 		runNetBench(*seed, *quick, out)
-		return
+		return 0
 	case "storagebench":
 		out := *bench
 		if out == "" {
 			out = "BENCH_storage.json"
 		}
 		runStorageBench(*seed, *quick, out)
-		return
+		return 0
 	case "schedbench":
 		out := *bench
 		if out == "" {
 			out = "BENCH_sched.json"
 		}
 		runSchedBench(*seed, out)
-		return
+		return 0
 	}
 
 	proto := core.Proto{Seed: *seed, Workers: *workers}
@@ -124,7 +132,7 @@ func main() {
 		for i, n := range names {
 			renderResult(n, results[i], emit)
 		}
-		return
+		return 0
 	}
 
 	name := which
@@ -133,13 +141,14 @@ func main() {
 	}
 	e, ok := core.Lookup(name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *run)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *runName)
+		fs.Usage()
+		return 2
 	}
 	p := proto
 	p.Size = sizeFor(name)
 	renderResult(name, e.Run(p), emit)
+	return 0
 }
 
 // figures is the SVG output directory ("" = off).

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"azureobs/internal/sim"
+)
+
+// Smoke tests: drive the binary's run() in-process. Full-suite validation is
+// CI's job (make validate); these cover the selection, policy and exit-code
+// paths that only exist in this command.
+func TestValidateSelectedExperiments(t *testing.T) {
+	sim.SetDefaultInvariants(true)
+	if code := run([]string{"-run", "queuedepth,replication", "-workers", "2"}); code != 0 {
+		t.Fatalf("azvalidate -run queuedepth,replication exited %d", code)
+	}
+}
+
+func TestValidateUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-run", "nope"}); code != 2 {
+		t.Fatalf("azvalidate -run nope exited %d, want 2", code)
+	}
+}

@@ -114,6 +114,27 @@ func NewCloudOn(eng *sim.Engine, cfg Config) *Cloud {
 	return c
 }
 
+// StorageServices lists the storage service names in canonical order — the
+// order chaos outage injection indexes into.
+var StorageServices = []string{"blob", "table", "queue", "sql"}
+
+// StoragePipeline returns the named service's request pipeline ("blob",
+// "table", "queue", "sql") — the surface the chaos engine's storage
+// brownout/blackout windows act on.
+func (c *Cloud) StoragePipeline(name string) *reqpath.Pipeline {
+	switch name {
+	case "blob":
+		return c.Blob.Pipeline()
+	case "table":
+		return c.Table.Pipeline()
+	case "queue":
+		return c.Queue.Pipeline()
+	case "sql":
+		return c.SQL.Pipeline()
+	}
+	panic("azure: unknown storage service " + name)
+}
+
 // NewClient opens a storage client bound to a VM. Each concurrent client
 // must have its own Client: per-connection bandwidth caps and random streams
 // are per-client state.

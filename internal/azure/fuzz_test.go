@@ -1,0 +1,63 @@
+package azure
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/storerr"
+)
+
+// FuzzRetryClassify asserts the retry classification is total: for an error
+// carrying ANY code string — the taxonomy constants, the empty string, or
+// arbitrary garbage — Retryable neither panics nor wavers, wrapping preserves
+// the classification, and RetryPolicy.Do makes exactly 1 attempt on
+// non-retryable errors and exactly MaxAttempts on persistently failing
+// retryable ones. Nothing in between, nothing unbounded.
+func FuzzRetryClassify(f *testing.F) {
+	for _, c := range []string{
+		string(storerr.CodeTimeout), string(storerr.CodeServerBusy),
+		string(storerr.CodeBlobExists), string(storerr.CodeNotFound),
+		string(storerr.CodeConflict), string(storerr.CodeCorruptRead),
+		string(storerr.CodeConnection), string(storerr.CodeInternal),
+		"", "TotallyMadeUpCode", "server busy\x00\xff",
+	} {
+		f.Add(c, "blob.Get")
+	}
+	f.Fuzz(func(t *testing.T, code, op string) {
+		err := storerr.New(storerr.Code(code), op, "fuzzed")
+		retryable := err.Retryable()
+		if storerr.IsRetryable(err) != retryable {
+			t.Fatalf("IsRetryable disagrees with Error.Retryable for code %q", code)
+		}
+		wrapped := fmt.Errorf("outer: %w", err)
+		if storerr.CodeOf(wrapped) != storerr.Code(code) {
+			t.Fatalf("CodeOf lost the code %q through wrapping", code)
+		}
+		if storerr.IsRetryable(wrapped) != retryable {
+			t.Fatalf("wrapping changed retryability for code %q", code)
+		}
+
+		policy := RetryPolicy{MaxAttempts: 3, Backoff: time.Second, Multiplier: 2}
+		attempts := 0
+		eng := sim.NewEngine()
+		eng.Spawn("op", func(p *sim.Proc) {
+			got := policy.Do(p, func() error {
+				attempts++
+				return err
+			})
+			if storerr.CodeOf(got) != storerr.Code(code) {
+				t.Errorf("Do returned %v, want code %q", got, code)
+			}
+		})
+		eng.Run()
+		want := 1
+		if retryable {
+			want = policy.MaxAttempts
+		}
+		if attempts != want {
+			t.Fatalf("code %q (retryable=%v): %d attempts, want %d", code, retryable, attempts, want)
+		}
+	})
+}

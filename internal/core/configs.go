@@ -22,7 +22,7 @@ func Fig1ConfigFor(p Proto) Fig1Config {
 		cfg.BlobMB = 64
 		cfg.Runs = 1
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	if p.Size > 0 {
 		cfg.BlobMB = int64(p.Size) / netsim.MB
 	}
@@ -39,7 +39,7 @@ func Fig2ConfigFor(p Proto) Fig2Config {
 	case ValidateScale:
 		cfg.Inserts, cfg.Queries, cfg.Updates = 60, 60, 30
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	if p.Size > 0 {
 		cfg.EntitySize = p.Size
 	}
@@ -56,7 +56,7 @@ func Fig3ConfigFor(p Proto) Fig3Config {
 	case ValidateScale:
 		cfg.OpsEach = 40
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	if p.Size > 0 {
 		cfg.MsgSize = p.Size
 	}
@@ -72,7 +72,7 @@ func Table1ConfigFor(p Proto) Table1Config {
 	case ValidateScale:
 		cfg.Runs = 120
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	return cfg
 }
 
@@ -89,7 +89,7 @@ func TCPConfigFor(p Proto) TCPConfig {
 		cfg.BandwidthPairs = 100
 		cfg.TransfersPer = 3
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	return cfg
 }
 
@@ -103,7 +103,7 @@ func PropFilterConfigFor(p Proto) PropFilterConfig {
 	case ValidateScale:
 		cfg.Clients = []int{1, 32}
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	return cfg
 }
 
@@ -114,7 +114,7 @@ func QueueDepthConfigFor(p Proto) QueueDepthConfig {
 	if p.Scale == QuickScale || p.Scale == ValidateScale {
 		cfg.SmallDepth, cfg.LargeDepth = 20000, 200000
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	return cfg
 }
 
@@ -127,7 +127,7 @@ func ReplicationConfigFor(p Proto) ReplicationConfig {
 		// replica saturated — and shrink only the blob.
 		cfg.BlobMB = 64
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	if p.Size > 0 {
 		cfg.BlobMB = int64(p.Size) / netsim.MB
 	}
@@ -141,7 +141,7 @@ func SQLCompareConfigFor(p Proto) SQLCompareConfig {
 		cfg.Clients = []int{1, 32, 128}
 		cfg.OpsEach = 50
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	return cfg
 }
 
@@ -151,7 +151,7 @@ func StartupConfigFor(p Proto) StartupScalingConfig {
 	if p.Scale == QuickScale || p.Scale == ValidateScale {
 		cfg.Runs = 8
 	}
-	cfg.Proto = p.apply(cfg.Proto)
+	cfg.Proto = p.Apply(cfg.Proto)
 	return cfg
 }
 
@@ -164,7 +164,7 @@ func Fig2SizesBaseFor(p Proto) Fig2Config {
 		base.Clients = []int{1, 16, 64}
 		base.Inserts, base.Queries, base.Updates = 50, 50, 25
 	}
-	base.Proto = p.apply(base.Proto)
+	base.Proto = p.Apply(base.Proto)
 	return base
 }
 
@@ -176,6 +176,6 @@ func Fig3SizesBaseFor(p Proto) Fig3Config {
 		base.Clients = []int{1, 16, 64}
 		base.OpsEach = 40
 	}
-	base.Proto = p.apply(base.Proto)
+	base.Proto = p.Apply(base.Proto)
 	return base
 }

@@ -174,6 +174,12 @@ func encodeResult(g *goldenHasher, res Result) {
 
 // goldenTraces are the expected hashes, captured from the seed solver.
 //
+// These hashes double as the chaos-isolation pin: the chaos engine
+// (internal/chaos) draws only from label-forked "chaos/*" streams, so with
+// chaos disabled — as in every run below — introducing it changed no hash.
+// Any future drift here under a chaos-related diff means that isolation
+// broke.
+//
 // fig1 (both seeds), replication, propfilter and sqlcompare were regenerated
 // when the storage services moved onto the reqpath pipeline: blob request
 // latency, table scan latency and the SQL handshake now draw from dedicated

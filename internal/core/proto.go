@@ -55,11 +55,11 @@ func Defaults() Proto {
 	return Proto{Seed: 42, Workers: 1}
 }
 
-// apply merges the caller's explicit knobs into a scale-derived base
+// Apply merges the caller's explicit knobs into a scale-derived base
 // block: Workers always transfers, Seed when set (0 keeps the scale
 // default of 42 usable as "unspecified"), Clients and Runs only when the
 // caller overrode them.
-func (p Proto) apply(base Proto) Proto {
+func (p Proto) Apply(base Proto) Proto {
 	if p.Seed != 0 {
 		base.Seed = p.Seed
 	}

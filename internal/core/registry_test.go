@@ -43,11 +43,11 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 
 func TestProtoApply(t *testing.T) {
 	base := Proto{Seed: 42, Clients: []int{1, 2}, Runs: 3}
-	got := Proto{Workers: 4, Scale: QuickScale}.apply(base)
+	got := Proto{Workers: 4, Scale: QuickScale}.Apply(base)
 	if got.Seed != 42 || got.Runs != 3 || got.Workers != 4 || got.Scale != QuickScale {
 		t.Fatalf("apply kept wrong fields: %+v", got)
 	}
-	got = Proto{Seed: 7, Clients: []int{9}, Runs: 1}.apply(base)
+	got = Proto{Seed: 7, Clients: []int{9}, Runs: 1}.Apply(base)
 	if got.Seed != 7 || got.Clients[0] != 9 || got.Runs != 1 {
 		t.Fatalf("apply dropped overrides: %+v", got)
 	}

@@ -72,10 +72,11 @@ func (d *Deployment) ReadyTimes() []time.Duration {
 // Controller is the fabric controller: the management-API backend that
 // creates, starts, grows, suspends and deletes deployments.
 type Controller struct {
-	dc   *Datacenter
-	rng  *simrand.RNG
-	seq  int
-	used int // cores in use
+	dc           *Datacenter
+	rng          *simrand.RNG
+	seq          int
+	used         int // cores in use
+	replacements int // crash-replacement VMs provisioned
 	// Quota is the account core limit; the CTP default is CoreQuota (20).
 	// The paper's storage experiments ran under a raised research quota.
 	Quota int
@@ -111,12 +112,8 @@ func (c *Controller) CreateDeployment(p *sim.Proc, spec DeploymentSpec) (*Deploy
 	p.Sleep(secs(dur))
 	d := &Deployment{Spec: spec, state: DeploymentCreated}
 	for i := 0; i < spec.Instances; i++ {
-		d.vms = append(d.vms, &VM{
-			Name: fmt.Sprintf("%s/%d", spec.Name, i),
-			Role: spec.Role,
-			Size: spec.Size,
-			Host: c.dc.placeVM(),
-		})
+		d.vms = append(d.vms,
+			c.dc.newVM(fmt.Sprintf("%s/%d", spec.Name, i), spec.Role, spec.Size, VMStopped))
 	}
 	c.seq++
 	return d, nil
@@ -139,8 +136,9 @@ func (c *Controller) RunDeployment(p *sim.Proc, d *Deployment) error {
 		p.Sleep(secs(simrand.Uniform{Lo: stats.Run.Avg, Hi: 3 * stats.Run.Avg}.Sample(c.rng)))
 		return ErrStartupFailed
 	}
+	eng := p.Engine()
 	for _, vm := range d.vms {
-		vm.state = VMStarting
+		vm.setState(eng, VMStarting)
 	}
 	at := stats.Run.Dist().Sample(c.rng) // first instance readiness
 	var last time.Duration
@@ -151,8 +149,13 @@ func (c *Controller) RunDeployment(p *sim.Proc, d *Deployment) error {
 		}
 		ready := p.Now() + secs(at)
 		last = ready
-		p.Engine().Schedule(ready, func() {
-			vm.state = VMReady
+		eng.Schedule(ready, func() {
+			// A chaos host crash may have failed the instance mid-start; the
+			// pending ready transition then dies with it.
+			if vm.state != VMStarting {
+				return
+			}
+			vm.setState(eng, VMReady)
 			vm.readyAt = ready
 		})
 	}
@@ -201,18 +204,18 @@ func (c *Controller) AddInstances(p *sim.Proc, d *Deployment, n int) error {
 		}
 	}
 	base := p.Now()
+	eng := p.Engine()
 	for i := 0; i < n; i++ {
-		vm := &VM{
-			Name: fmt.Sprintf("%s/%d", d.Spec.Name, len(d.vms)),
-			Role: d.Spec.Role,
-			Size: d.Spec.Size,
-			Host: c.dc.placeVM(),
-		}
-		vm.state = VMStarting
+		vm := c.dc.newVM(fmt.Sprintf("%s/%d", d.Spec.Name, len(d.vms)),
+			d.Spec.Role, d.Spec.Size, VMStopped)
+		vm.setState(eng, VMStarting)
 		d.vms = append(d.vms, vm)
 		ready := base + secs(offsets[i])
-		p.Engine().Schedule(ready, func() {
-			vm.state = VMReady
+		eng.Schedule(ready, func() {
+			if vm.state != VMStarting {
+				return
+			}
+			vm.setState(eng, VMReady)
 			vm.readyAt = ready
 		})
 	}
@@ -230,7 +233,11 @@ func (c *Controller) SuspendDeployment(p *sim.Proc, d *Deployment) error {
 	stats := Params(d.Spec.Role, d.Spec.Size)
 	p.Sleep(secs(stats.Suspend.Dist().Sample(c.rng)))
 	for _, vm := range d.vms {
-		vm.state = VMStopped
+		// Crash-failed instances stay failed through suspend; everything
+		// else stops.
+		if vm.state != VMFailed {
+			vm.setState(p.Engine(), VMStopped)
+		}
 	}
 	d.state = DeploymentSuspended
 	return nil
@@ -245,7 +252,8 @@ func (c *Controller) DeleteDeployment(p *sim.Proc, d *Deployment) error {
 	stats := Params(d.Spec.Role, d.Spec.Size)
 	p.Sleep(secs(stats.Delete.Dist().Sample(c.rng)))
 	for _, vm := range d.vms {
-		vm.state = VMDeleted
+		vm.setState(p.Engine(), VMDeleted)
+		vm.Host.detach(vm)
 	}
 	d.state = DeploymentDeleted
 	c.used -= d.Spec.Instances * d.Spec.Size.Cores()
@@ -262,15 +270,19 @@ func (c *Controller) CoresInUse() int { return c.used }
 func (c *Controller) ReadyFleet(n int, role Role, size Size) []*VM {
 	vms := make([]*VM, n)
 	for i := range vms {
-		vms[i] = &VM{
-			Name:  fmt.Sprintf("fleet/%d", i),
-			Role:  role,
-			Size:  size,
-			Host:  c.dc.placeVM(),
-			state: VMReady,
-		}
+		vms[i] = c.dc.newVM(fmt.Sprintf("fleet/%d", i), role, size, VMReady)
 	}
 	return vms
+}
+
+// ReplacementVM provisions one ready instance to replace a crash-failed
+// fleet member (the fabric "re-acquiring" capacity after a node failure,
+// Section 5). Replacement names carry their own counter so original fleet
+// naming — and hence every chaos-free trace — is untouched.
+func (c *Controller) ReplacementVM(role Role, size Size) *VM {
+	vm := c.dc.newVM(fmt.Sprintf("fleet/r%d", c.replacements), role, size, VMReady)
+	c.replacements++
+	return vm
 }
 
 // secs converts float seconds to a duration.

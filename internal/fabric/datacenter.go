@@ -41,6 +41,12 @@ type Datacenter struct {
 	nextHost     int // placement cursor (rack-striding)
 
 	episodes uint64 // degradation episodes started
+	crashes  uint64 // host crashes injected
+
+	// hostDown subscribers run (in kernel context) whenever CrashHost takes
+	// a host down; the chaos-aware campaign uses this to kill and later
+	// re-acquire the workers that lived there.
+	hostDown []func(*Host, []*VM)
 
 	latencyDist simrand.Dist
 }
@@ -115,15 +121,109 @@ func (dc *Datacenter) DegradedHosts() int {
 // placeVM picks a host with a rack-striding cursor: successive placements
 // land in different racks, approximating Azure's fault-domain spreading
 // (consecutive instances of a deployment must not share a failure unit).
+// Crashed hosts are skipped; with no crashes the cursor walk is unchanged.
 func (dc *Datacenter) placeVM() *Host {
 	n := len(dc.hosts)
 	stride := dc.hostsPerRack + 1
 	for gcd(stride, n) != 1 {
 		stride++
 	}
-	h := dc.hosts[(dc.nextHost*stride)%n]
-	dc.nextHost++
-	return h
+	for tries := 0; tries < n; tries++ {
+		h := dc.hosts[(dc.nextHost*stride)%n]
+		dc.nextHost++
+		if !h.down {
+			return h
+		}
+	}
+	panic("fabric: no host up for placement")
+}
+
+// newVM places a fresh instance on a host and registers it as a resident.
+func (dc *Datacenter) newVM(name string, role Role, size Size, state VMState) *VM {
+	h := dc.placeVM()
+	vm := &VM{Name: name, Role: role, Size: size, Host: h, state: state}
+	h.residents = append(h.residents, vm)
+	return vm
+}
+
+// Racks returns the number of racks in the datacenter.
+func (dc *Datacenter) Racks() int {
+	return (len(dc.hosts) + dc.hostsPerRack - 1) / dc.hostsPerRack
+}
+
+// RackHosts returns the hosts in one rack.
+func (dc *Datacenter) RackHosts(rack int) []*Host {
+	lo := rack * dc.hostsPerRack
+	hi := lo + dc.hostsPerRack
+	if lo >= len(dc.hosts) {
+		return nil
+	}
+	if hi > len(dc.hosts) {
+		hi = len(dc.hosts)
+	}
+	return dc.hosts[lo:hi]
+}
+
+// Crashes returns the number of host crashes injected so far.
+func (dc *Datacenter) Crashes() uint64 { return dc.crashes }
+
+// OnHostDown registers fn to run (in kernel context, synchronously inside
+// CrashHost) whenever a host crashes. fn receives the host and the VMs that
+// failed with it.
+func (dc *Datacenter) OnHostDown(fn func(*Host, []*VM)) {
+	dc.hostDown = append(dc.hostDown, fn)
+}
+
+// CrashHost takes a host down, failing every starting/ready resident VM, and
+// returns the failed instances. Crashing an already-down host is a no-op.
+// The host stays out of placement until RebootHost.
+func (dc *Datacenter) CrashHost(h *Host) []*VM {
+	if h.down {
+		return nil
+	}
+	h.down = true
+	h.slowdown = 1 // whatever episode was running dies with the host
+	var failed []*VM
+	for _, vm := range append([]*VM(nil), h.residents...) {
+		if vm.state == VMStarting || vm.state == VMReady {
+			vm.setState(dc.eng, VMFailed)
+			h.detach(vm)
+			failed = append(failed, vm)
+		}
+	}
+	dc.crashes++
+	for _, fn := range dc.hostDown {
+		fn(h, failed)
+	}
+	return failed
+}
+
+// RebootHost brings a crashed host back into service, healthy and empty of
+// the VMs that failed with it. Rebooting an up host is a no-op.
+func (dc *Datacenter) RebootHost(h *Host) {
+	if !h.down {
+		return
+	}
+	h.down = false
+	h.slowdown = 1
+}
+
+// DegradeHost applies a compute dilation factor to one host (a chaos
+// degradation window, as opposed to the autonomous episode process).
+func (dc *Datacenter) DegradeHost(h *Host, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	h.slowdown = factor
+}
+
+// RestoreHost ends a degradation window, but only if the host still carries
+// the factor this window applied — a crash/reboot or a later episode in
+// between takes precedence.
+func (dc *Datacenter) RestoreHost(h *Host, factor float64) {
+	if h.slowdown == factor {
+		h.slowdown = 1
+	}
 }
 
 func gcd(a, b int) int {

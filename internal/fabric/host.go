@@ -40,6 +40,14 @@ type Host struct {
 
 	// slowdown is the current compute dilation factor; 1 when healthy.
 	slowdown float64
+
+	// down marks a crashed host: its VMs have failed and the placement
+	// cursor skips it until RebootHost.
+	down bool
+
+	// residents are the VMs currently placed on this host; a crash fails
+	// every starting/ready one of them.
+	residents []*VM
 }
 
 // Slowdown returns the host's current compute dilation factor (≥ 1).
@@ -47,6 +55,23 @@ func (h *Host) Slowdown() float64 { return h.slowdown }
 
 // Degraded reports whether the host is currently in a degradation episode.
 func (h *Host) Degraded() bool { return h.slowdown > 1 }
+
+// Down reports whether the host is crashed and awaiting repair.
+func (h *Host) Down() bool { return h.down }
+
+// Residents returns the number of VMs currently placed on the host.
+func (h *Host) Residents() int { return len(h.residents) }
+
+// detach removes a VM from the host's resident list (it failed or was
+// deleted).
+func (h *Host) detach(vm *VM) {
+	for i, r := range h.residents {
+		if r == vm {
+			h.residents = append(h.residents[:i], h.residents[i+1:]...)
+			return
+		}
+	}
+}
 
 // NetQuality returns the host's placement-quality multiplier in (0, 1].
 func (h *Host) NetQuality() float64 { return h.netQuality }

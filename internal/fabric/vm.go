@@ -8,7 +8,9 @@ import (
 )
 
 // VMState is the externally visible instance status, matching the status
-// transitions the paper's test program polls ("stopped" → "ready").
+// transitions the paper's test program polls ("stopped" → "ready"), plus the
+// failed state a host crash forces (Section 5: node failures kill resident
+// instances until the fabric re-acquires capacity).
 type VMState int
 
 // VMState values.
@@ -18,6 +20,7 @@ const (
 	VMReady
 	VMSuspending
 	VMDeleted
+	VMFailed
 )
 
 func (s VMState) String() string {
@@ -30,9 +33,34 @@ func (s VMState) String() string {
 		return "ready"
 	case VMSuspending:
 		return "suspending"
+	case VMFailed:
+		return "failed"
 	default:
 		return "deleted"
 	}
+}
+
+// legalVMNext is the instance lifecycle state machine. Every state write goes
+// through VM.setState, which checks the edge against this table when the
+// engine's invariant harness is on — the chaos engine's crash/reboot paths
+// are validated against exactly the same machine as the fabric controller's
+// phase transitions.
+var legalVMNext = map[VMState][]VMState{
+	VMStopped:    {VMStarting, VMDeleted},
+	VMStarting:   {VMReady, VMStopped, VMFailed}, // stopped: suspend races an in-flight start
+	VMReady:      {VMStopped, VMSuspending, VMFailed},
+	VMSuspending: {VMStopped},
+	VMFailed:     {VMDeleted},
+	VMDeleted:    {},
+}
+
+func legalVMTransition(from, to VMState) bool {
+	for _, s := range legalVMNext[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
 }
 
 // VM is one role instance.
@@ -48,6 +76,14 @@ type VM struct {
 
 // State returns the instance status.
 func (vm *VM) State() VMState { return vm.state }
+
+// setState moves the instance through its lifecycle, checking the transition
+// against legalVMNext when invariants are enabled.
+func (vm *VM) setState(eng *sim.Engine, s VMState) {
+	eng.Invariants().Checkf(legalVMTransition(vm.state, s),
+		"fabric: illegal VM transition %v -> %v (%s)", vm.state, s, vm.Name)
+	vm.state = s
+}
 
 // ReadyAt returns when the instance last transitioned to ready.
 func (vm *VM) ReadyAt() time.Duration { return vm.readyAt }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"azureobs/internal/azure"
+	"azureobs/internal/chaos"
 	"azureobs/internal/fabric"
 	"azureobs/internal/metrics"
 	"azureobs/internal/oplog"
@@ -49,6 +50,16 @@ type Config struct {
 	// retry policy, so Table 2-style transient errors are mostly absorbed;
 	// terminal failures are tallied in Stats.StorageErrors.
 	StorageFaults reqpath.FaultConfig
+
+	// Chaos, when non-nil and enabled, runs a whole-datacenter fault
+	// campaign (host crashes, degradation windows, rack partitions, storage
+	// outages) alongside the workload. The campaign survives via the same
+	// retry and timeout-monitor machinery the paper's §5 study credits:
+	// crashed workers' in-flight tasks are re-enqueued, and the fabric
+	// re-acquires replacement VMs after a delay. The chaos streams are
+	// label-forked, so a nil/disabled config leaves every trace
+	// bit-identical.
+	Chaos *chaos.Config
 }
 
 // DefaultConfig is the paper-scale campaign.
@@ -119,6 +130,14 @@ type Stats struct {
 	// keyed by "op/code".
 	StorageRetries uint64
 	StorageErrors  *metrics.CounterSet
+
+	// CrashAborted counts executions cut short because a host crash killed
+	// the worker mid-task. These are not monitor kills: they never record an
+	// outcome, never touch FalseKills, and the interrupted task is
+	// re-enqueued by the crash handler.
+	CrashAborted uint64
+	// ReplacementVMs counts workers the fabric re-acquired after crashes.
+	ReplacementVMs uint64
 }
 
 // TotalExecs returns the total task execution count.
@@ -177,6 +196,21 @@ type Campaign struct {
 
 	nextTaskID uint64
 	nextReqID  uint64
+
+	// Chaos machinery (all nil/empty when cfg.Chaos is off). procs, current
+	// and execStart are indexed by worker slot; vmSlot maps a live worker VM
+	// back to its slot so a host-crash callback can find who died.
+	chaos     *chaos.Engine
+	procs     []*sim.Proc
+	current   []*Task
+	execStart []time.Duration
+	vmSlot    map[*fabric.VM]int
+	reacqRNG  *simrand.RNG
+	respawns  int
+
+	// Conservation counters (checked against the invariant harness at the
+	// end of Run): finishes counts finishTask calls.
+	finishes uint64
 }
 
 // taskQueue couples the real Azure queue service with an instant wakeup
@@ -189,6 +223,11 @@ type taskQueue struct {
 	q      *queuesvc.Queue
 	tokens *sim.Queue[uint64]
 	tasks  map[uint64]*Task
+
+	// delivered counts tasks handed to workers — one side of the
+	// delivered == executions + crash-aborted + in-flight conservation
+	// equation checked at the end of a run.
+	delivered uint64
 }
 
 // NewCampaign assembles a campaign.
@@ -272,6 +311,17 @@ func NewCampaign(cfg Config) *Campaign {
 		}
 	}
 	c.Stats.Outcomes.Inc(string(OutcomeUserCode), 0)
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		ch := *cfg.Chaos
+		if ch.Horizon == 0 {
+			ch.Horizon = time.Duration(cfg.Days) * 24 * time.Hour
+		}
+		// The chaos root is forked from the campaign seed by label, exactly
+		// like every other subsystem stream: with chaos off, nothing below
+		// draws from it and every other stream is untouched.
+		c.chaos = chaos.New(cloud, simrand.New(cfg.Seed).Fork("chaos"), ch)
+		c.reacqRNG = c.rng.Fork("reacquire")
+	}
 	return c
 }
 
@@ -290,18 +340,112 @@ func table2OutcomeOrder() []Outcome {
 // Cloud exposes the underlying cloud (tests and the CLI use it).
 func (c *Campaign) Cloud() *azure.Cloud { return c.cloud }
 
+// ChaosReport returns the fault-campaign taxonomy, or nil when chaos is off.
+func (c *Campaign) ChaosReport() *chaos.Report {
+	if c.chaos == nil {
+		return nil
+	}
+	return c.chaos.Report()
+}
+
 // Run executes the campaign for its configured horizon.
 func (c *Campaign) Run() *Stats {
 	c.cloud.Engine.Spawn("portal", c.portal)
 	c.cloud.Engine.SpawnDaemon("service-manager", c.serviceManager)
+	c.procs = make([]*sim.Proc, len(c.workers))
+	c.current = make([]*Task, len(c.workers))
+	c.execStart = make([]time.Duration, len(c.workers))
 	for i, vm := range c.workers {
-		vm := vm
-		c.cloud.Engine.Spawn(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
-			c.workerLoop(p, vm, i)
+		vm, i := vm, i
+		c.procs[i] = c.cloud.Engine.Spawn(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
+			c.workerLoop(p, vm, i, c.rng.ForkN("worker", i))
 		})
 	}
+	if c.chaos != nil {
+		c.vmSlot = make(map[*fabric.VM]int, len(c.workers))
+		for i, vm := range c.workers {
+			c.vmSlot[vm] = i
+		}
+		c.cloud.DC.OnHostDown(c.onHostDown)
+		c.chaos.Start()
+	}
 	c.cloud.Engine.RunUntil(time.Duration(c.cfg.Days) * 24 * time.Hour)
+	c.checkConservation()
+	if c.chaos != nil {
+		c.chaos.Report().Violations = c.cloud.Engine.Invariants().ViolationCount()
+	}
 	return c.Stats
+}
+
+// checkConservation closes the campaign's books against the invariant
+// harness: every task handed to a worker is accounted for by a recorded
+// execution, a crash abort (re-enqueued), or an in-flight execution frozen by
+// the horizon; and every recorded execution either finished its task or
+// retried it.
+func (c *Campaign) checkConservation() {
+	inv := c.cloud.Engine.Invariants()
+	if inv == nil {
+		return
+	}
+	var inFlight uint64
+	for _, t := range c.current {
+		if t != nil {
+			inFlight++
+		}
+	}
+	execs := c.Stats.TotalExecs()
+	inv.Checkf(c.queue.delivered == execs+c.Stats.CrashAborted+inFlight,
+		"task conservation: %d delivered != %d executions + %d crash-aborted + %d in flight",
+		c.queue.delivered, execs, c.Stats.CrashAborted, inFlight)
+	inv.Checkf(execs == c.finishes+c.Stats.Retries,
+		"execution conservation: %d executions != %d finishes + %d retries",
+		execs, c.finishes, c.Stats.Retries)
+}
+
+// onHostDown is the campaign's crash handler (kernel context, fired inside
+// CrashHost). For each failed worker VM it kills the worker process,
+// re-enqueues whatever task it was executing (crediting the lost work to the
+// chaos report), and schedules the fabric re-acquisition of a replacement
+// worker.
+func (c *Campaign) onHostDown(_ *fabric.Host, failed []*fabric.VM) {
+	for _, vm := range failed {
+		slot, ok := c.vmSlot[vm]
+		if !ok {
+			continue // not one of ours (or already handled)
+		}
+		delete(c.vmSlot, vm)
+		if t := c.current[slot]; t != nil {
+			c.chaos.Report().AddWorkLost(c.cloud.Engine.Now() - c.execStart[slot])
+			t.lost = true
+			c.current[slot] = nil
+			c.Stats.CrashAborted++
+			// Re-enqueueing needs a process (it is a storage operation);
+			// the monitor-side reclaim runs as its own short-lived proc.
+			c.cloud.Engine.Spawn(fmt.Sprintf("reclaim/%d", t.ID), func(p *sim.Proc) {
+				c.queue.enqueue(p, t)
+			})
+		}
+		if c.procs[slot] != nil {
+			c.procs[slot].Kill()
+			c.procs[slot] = nil
+		}
+		c.respawns++
+		gen := c.respawns
+		c.cloud.Engine.Spawn(fmt.Sprintf("reacquire/%d", gen), func(p *sim.Proc) {
+			// Fabric re-acquisition delay: the gap the paper observed
+			// between a node failure and its capacity coming back.
+			p.Sleep(simrand.Duration(simrand.Uniform{
+				Lo: (10 * time.Minute).Seconds(), Hi: (45 * time.Minute).Seconds()}, c.reacqRNG))
+			nvm := c.cloud.Controller.ReplacementVM(fabric.Worker, fabric.Small)
+			c.workers[slot] = nvm
+			c.vmSlot[nvm] = slot
+			c.Stats.ReplacementVMs++
+			rng := c.rng.ForkN("worker-r", gen)
+			c.procs[slot] = c.cloud.Engine.Spawn(fmt.Sprintf("worker%d/r%d", slot, gen), func(p2 *sim.Proc) {
+				c.workerLoop(p2, nvm, slot, rng)
+			})
+		})
+	}
 }
 
 // portal generates user requests for the campaign horizon.
@@ -468,18 +612,25 @@ func stageIndex(ty TaskType) int {
 	return -1
 }
 
-// workerLoop pulls tasks forever; RunUntil bounds the campaign.
-func (c *Campaign) workerLoop(p *sim.Proc, vm *fabric.VM, id int) {
-	rng := c.rng.ForkN("worker", id)
+// workerLoop pulls tasks forever; RunUntil bounds the campaign. A host crash
+// kills the loop's process; the crash handler respawns it on a replacement
+// VM with a fresh stream.
+func (c *Campaign) workerLoop(p *sim.Proc, vm *fabric.VM, id int, rng *simrand.RNG) {
 	for {
 		task := c.queue.dequeue(p)
-		c.execute(p, vm, task, rng)
+		c.execute(p, vm, task, rng, id)
 	}
 }
 
 // execute runs one task execution on a VM and records its outcome.
-func (c *Campaign) execute(p *sim.Proc, vm *fabric.VM, task *Task, rng *simrand.RNG) {
+func (c *Campaign) execute(p *sim.Proc, vm *fabric.VM, task *Task, rng *simrand.RNG, id int) {
 	task.Attempts++
+	// The in-flight marker is how the crash handler knows what this worker
+	// was doing; it is cleared the instant the execution sleep returns, so a
+	// monitor kill and a host crash landing on the same execution can never
+	// both account for it (the FalseKills double-count hazard).
+	c.current[id] = task
+	c.execStart[id] = p.Now()
 	day := int(p.Now() / (24 * time.Hour))
 	if day >= len(c.Stats.DailyExecs) {
 		day = len(c.Stats.DailyExecs) - 1
@@ -505,12 +656,20 @@ func (c *Campaign) execute(p *sim.Proc, vm *fabric.VM, task *Task, rng *simrand.
 		// The task monitor kills the execution at the threshold and
 		// reschedules the task (Section 5.2).
 		p.Sleep(threshold + overhead)
+		c.current[id] = nil
 		outcome = OutcomeVMTimeout
 		c.Stats.DailyTimeouts[day]++
 		c.Stats.recordKill(threshold, !vm.Host.Degraded())
 	} else {
 		p.Sleep(dilated + overhead)
+		c.current[id] = nil
 		outcome = sampleOutcome(task.Type, rng)
+	}
+	if task.lost && c.chaos != nil && outcome.Completes() {
+		// A crash had interrupted an earlier attempt of this task; its
+		// nominal work is now recovered through re-execution.
+		c.chaos.Report().AddWorkRecovered(task.Work)
+		task.lost = false
 	}
 	// Executions are recorded on completion (as the production system's
 	// logs were); the day bucket is the start day, where the bulk of the
@@ -547,6 +706,7 @@ func (c *Campaign) execute(p *sim.Proc, vm *fabric.VM, task *Task, rng *simrand.
 // finishTask retires a task and releases the next stage when its stage
 // drains.
 func (c *Campaign) finishTask(p *sim.Proc, task *Task) {
+	c.finishes++
 	req := task.Request
 	req.remaining[task.Type]--
 	if req.remaining[task.Type] == 0 {
@@ -575,40 +735,63 @@ func (b *taskQueue) enqueue(p *sim.Proc, t *Task) {
 // backstop only).
 func (b *taskQueue) dequeue(p *sim.Proc) *Task {
 	for {
-		b.tokens.Get(p)
-		for {
-			var msg *queuesvc.Message
-			var rcpt queuesvc.Receipt
-			var ok bool
-			if err := b.camp.storageDo(p, "queue.Receive", func() error {
-				var err error
-				msg, rcpt, ok, err = b.cloud.Queue.Receive(p, b.q, 2*time.Hour)
-				return err
-			}); err != nil {
-				break // message stranded until its visibility backstop
-			}
-			if !ok {
-				break // token raced a message already consumed
-			}
-			// A failed delete means this message reappears after its
-			// visibility window — the stale-redelivery hazard of
-			// Section 5.2. The reappearance is handled below.
-			b.camp.storageDo(p, "queue.Delete", func() error {
-				return b.cloud.Queue.Delete(p, b.q, rcpt)
-			})
-			id, err := strconv.ParseUint(msg.Body, 10, 64)
-			if err != nil {
-				panic(err)
-			}
-			t, live := b.tasks[id]
-			if !live {
-				// Stale redelivery of a message whose earlier delete failed:
-				// its task already ran. Discard and receive again on the
-				// same token, which still has a live message to pair with.
-				continue
-			}
-			delete(b.tasks, id)
+		tok := b.tokens.Get(p)
+		if t := b.tryReceive(p, tok); t != nil {
 			return t
 		}
+	}
+}
+
+// tryReceive spends one wakeup token on receiving a task. A worker killed by
+// a host crash mid-receive restores the token on its unwind path, so the
+// message the token paired with is eventually delivered to another worker
+// instead of stranding until nobody is left to ask for it.
+func (b *taskQueue) tryReceive(p *sim.Proc, tok uint64) *Task {
+	credited := true
+	defer func() {
+		if rec := recover(); rec != nil {
+			if credited {
+				b.tokens.Put(tok)
+			}
+			panic(rec)
+		}
+	}()
+	for {
+		var msg *queuesvc.Message
+		var rcpt queuesvc.Receipt
+		var ok bool
+		if err := b.camp.storageDo(p, "queue.Receive", func() error {
+			var err error
+			msg, rcpt, ok, err = b.cloud.Queue.Receive(p, b.q, 2*time.Hour)
+			return err
+		}); err != nil {
+			credited = false // token spent; message stranded until its visibility backstop
+			return nil
+		}
+		if !ok {
+			credited = false // token raced a message already consumed
+			return nil
+		}
+		// A failed delete means this message reappears after its
+		// visibility window — the stale-redelivery hazard of
+		// Section 5.2. The reappearance is handled below.
+		b.camp.storageDo(p, "queue.Delete", func() error {
+			return b.cloud.Queue.Delete(p, b.q, rcpt)
+		})
+		id, err := strconv.ParseUint(msg.Body, 10, 64)
+		if err != nil {
+			panic(err)
+		}
+		t, live := b.tasks[id]
+		if !live {
+			// Stale redelivery of a message whose earlier delete failed:
+			// its task already ran. Discard and receive again on the
+			// same token, which still has a live message to pair with.
+			continue
+		}
+		delete(b.tasks, id)
+		credited = false
+		b.delivered++
+		return t
 	}
 }

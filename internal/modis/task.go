@@ -107,6 +107,9 @@ type Task struct {
 	Work time.Duration
 	// Attempts counts executions so far.
 	Attempts int
+	// lost marks a task whose execution a host crash interrupted; cleared
+	// (and credited as recovered work) when a later attempt completes.
+	lost bool
 }
 
 // Request is one portal submission expanded into staged tasks.

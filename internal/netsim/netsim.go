@@ -153,6 +153,25 @@ func (f *Fabric) NewLink(name string, capacity Bandwidth) *Link {
 	return &Link{name: name, cap: capacity}
 }
 
+// SetLinkCapacity changes a link's nominal capacity at runtime — the chaos
+// engine's rack partitions squeeze NICs to an epsilon rate and restore them
+// on repair. Flows in progress are settled at their old rates first, then the
+// component containing the link re-solves; completion events move
+// accordingly. Capacity must stay positive (use a small epsilon, not zero).
+// Links driven by SetCapacityFn ignore the nominal value.
+func (f *Fabric) SetLinkCapacity(l *Link, capacity Bandwidth) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: link %q capacity %v", l.name, capacity))
+	}
+	if capacity == l.cap {
+		return
+	}
+	f.settle()
+	l.cap = capacity
+	f.markDirty(l)
+	f.reallocate()
+}
+
 // ActiveFlows returns the number of in-flight flows.
 func (f *Fabric) ActiveFlows() int { return len(f.flows) }
 

@@ -101,6 +101,10 @@ type Engine struct {
 	// completion on each rate change) return events here via Recycle instead
 	// of leaving one garbage Event per churn event.
 	pool []*Event
+
+	// inv is the invariant harness; nil unless EnableInvariants was called
+	// (or SetDefaultInvariants flipped the package default before NewEngine).
+	inv *Invariants
 }
 
 type procPanic struct {
@@ -118,7 +122,11 @@ func (e *Engine) checkPanic() {
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	if defaultInvariants.Load() != 0 {
+		e.EnableInvariants(true)
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -225,6 +233,7 @@ func (e *Engine) Step() bool {
 		if !ev.daemon {
 			e.foreground--
 		}
+		e.inv.Checkf(ev.at >= e.now, "event time %v before clock %v", ev.at, e.now)
 		e.now = ev.at
 		e.fired++
 		ev.fn()

@@ -1,0 +1,15 @@
+package sim
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain switches every engine the suite constructs into fail-fast
+// invariant checking, so each simulation run in the package doubles as an
+// invariant test (event-time monotonicity, resource levels, queue
+// conservation, VM state transitions).
+func TestMain(m *testing.M) {
+	SetDefaultInvariants(true)
+	os.Exit(m.Run())
+}

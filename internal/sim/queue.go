@@ -67,10 +67,19 @@ func (q *Queue[T]) TryGet() (T, bool) {
 	return item, true
 }
 
+// check asserts item conservation: everything ever put was either delivered
+// or is still buffered. The kill-unwind repath (reputIfKilled) is the spot
+// this historically guards.
+func (q *Queue[T]) check(p *Proc) {
+	p.eng.Invariants().Checkf(q.puts == q.gets+uint64(len(q.items)),
+		"queue conservation: %d puts != %d gets + %d buffered", q.puts, q.gets, len(q.items))
+}
+
 // Get removes and returns the head item, blocking the process until one is
 // available. Consumers are served in FIFO order.
 func (q *Queue[T]) Get(p *Proc) T {
 	p.killCheck()
+	q.check(p)
 	if item, ok := q.TryGet(); ok {
 		return item
 	}
@@ -98,6 +107,7 @@ func (q *Queue[T]) reputIfKilled(w *getWaiter[T]) {
 // no item arrived within d.
 func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
 	p.killCheck()
+	q.check(p)
 	if item, ok := q.TryGet(); ok {
 		return item, true
 	}

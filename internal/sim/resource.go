@@ -61,6 +61,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
 		r.totalAcquired++
+		r.check()
 		return
 	}
 	w := &resWaiter{p: p, n: n}
@@ -120,6 +121,15 @@ func (r *Resource) grant() {
 		w.granted = true
 		w.p.wakeNow()
 	}
+	r.check()
+}
+
+// check asserts the resource level is inside [0, capacity]; the unwind paths
+// (a killed waiter returning a pre-empted grant) are the historically fragile
+// spots this guards.
+func (r *Resource) check() {
+	r.eng.Invariants().Checkf(r.inUse >= 0 && r.inUse <= r.capacity,
+		"resource %q level %d outside [0, %d]", r.name, r.inUse, r.capacity)
 }
 
 func (r *Resource) remove(w *resWaiter) {

@@ -72,6 +72,28 @@ func (f Fault) Code() storerr.Code {
 	return storerr.CodeInternal
 }
 
+// Outage is a service-wide health state imposed from outside the pipeline —
+// the chaos engine's storage brownout/blackout windows (the paper's §5
+// blob-write and SQL-connectivity incidents).
+type Outage int
+
+// Outage modes.
+const (
+	// OutageNone is normal service.
+	OutageNone Outage = iota
+	// OutageBrownout degrades the service: requests are throttled with
+	// CodeServerBusy with probability BrownoutBusyProb.
+	OutageBrownout
+	// OutageBlackout takes the service down: every request fails immediately
+	// with CodeConnection (retryable — short blackouts are absorbed by
+	// client retry policies; long ones shed work, as in §5).
+	OutageBlackout
+)
+
+// BrownoutBusyProb is the per-request throttle probability during a
+// brownout.
+const BrownoutBusyProb = 0.75
+
 // FaultConfig is the per-service fault injection plan. All probabilities
 // default to zero (no faults, no random draws).
 type FaultConfig struct {
@@ -87,6 +109,28 @@ type FaultConfig struct {
 	// CorruptReadProb corrupts downloaded payloads (CodeCorruptRead) where
 	// the service calls Ctx.CorruptRead.
 	CorruptReadProb float64
+}
+
+// Clamp returns the config with every probability forced into [0, 1]; NaN
+// collapses to 0. New applies it, so a pipeline never sees a probability the
+// Bernoulli stage cannot handle — arbitrary (fuzzer-shaped) configs are safe.
+func (fc FaultConfig) Clamp() FaultConfig {
+	fc.ConnFailProb = clamp01(fc.ConnFailProb)
+	fc.ServerBusyProb = clamp01(fc.ServerBusyProb)
+	fc.ReadFailProb = clamp01(fc.ReadFailProb)
+	fc.CorruptReadProb = clamp01(fc.CorruptReadProb)
+	return fc
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p > 0 && p <= 1:
+		return p
+	case p > 1:
+		return 1
+	default: // ≤ 0 or NaN
+		return 0
+	}
 }
 
 // Event is one completed request, delivered to hooks after the reply is
@@ -126,9 +170,12 @@ type Config struct {
 
 // hookSet is shared between a pipeline and all pipelines forked from it, so
 // a hook installed on the service-level pipeline also observes requests on
-// per-session pipelines (and vice versa), regardless of creation order.
+// per-session pipelines (and vice versa), regardless of creation order. The
+// outage mode lives here for the same reason: a blackout set on the
+// service-level pipeline must bite every session.
 type hookSet struct {
-	hooks []Hook
+	hooks  []Hook
+	outage Outage
 }
 
 // Pipeline executes requests for one service endpoint (or one session of
@@ -138,13 +185,14 @@ type Pipeline struct {
 	base *simrand.RNG
 	hs   *hookSet
 
-	conn, busy, read, corrupt, timeout, latency *simrand.RNG
+	conn, busy, read, corrupt, timeout, latency, outage *simrand.RNG
 }
 
 // New builds a pipeline drawing stage streams from rng. The streams are
 // forked with stable "reqpath/<stage>" labels, so they are independent of
 // any other fork of rng (station streams, service-internal draws).
 func New(rng *simrand.RNG, cfg Config) *Pipeline {
+	cfg.Faults = cfg.Faults.Clamp()
 	pl := &Pipeline{cfg: cfg, base: rng, hs: &hookSet{}}
 	pl.forkStages()
 	return pl
@@ -166,6 +214,10 @@ func (pl *Pipeline) forkStages() {
 	pl.corrupt = pl.base.Fork("reqpath/corrupt")
 	pl.timeout = pl.base.Fork("reqpath/timeout")
 	pl.latency = pl.base.Fork("reqpath/latency")
+	// The outage stream is always forked (label-forking never perturbs other
+	// streams) but only drawn from during a brownout, so enabling chaos
+	// leaves every healthy-period trace bit-identical.
+	pl.outage = pl.base.Fork("reqpath/outage")
 }
 
 // AddHook installs a request observer on this pipeline and every pipeline
@@ -174,6 +226,13 @@ func (pl *Pipeline) AddHook(h Hook) { pl.hs.hooks = append(pl.hs.hooks, h) }
 
 // Config returns the pipeline's configuration.
 func (pl *Pipeline) Config() Config { return pl.cfg }
+
+// SetOutage imposes (or lifts) a service-wide outage. The mode is shared
+// with every session pipeline forked from this one.
+func (pl *Pipeline) SetOutage(o Outage) { pl.hs.outage = o }
+
+// Outage returns the current service-wide outage mode.
+func (pl *Pipeline) Outage() Outage { return pl.hs.outage }
 
 // hit draws a Bernoulli trial on the stage stream, consuming no randomness
 // for the degenerate probabilities — a disabled stage must not perturb
@@ -211,8 +270,17 @@ func (pl *Pipeline) Do(p *sim.Proc, op string, body func(*Ctx) error) error {
 	return err
 }
 
-// admit is the FaultStage's admission half plus the request-latency stage.
+// admit is the FaultStage's admission half plus the request-latency stage,
+// preceded by the outage gate.
 func (pl *Pipeline) admit(c *Ctx) error {
+	switch pl.hs.outage {
+	case OutageBlackout:
+		return c.fail(FaultConn, "service blackout")
+	case OutageBrownout:
+		if pl.outage.Hit(BrownoutBusyProb) {
+			return c.fail(FaultBusy, "service brownout")
+		}
+	}
 	if hit(pl.conn, pl.cfg.Faults.ConnFailProb) {
 		return c.fail(FaultConn, "connection reset")
 	}
