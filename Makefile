@@ -2,7 +2,7 @@
 # everything, vets, runs the full test suite under the race detector,
 # smoke-runs every benchmark once so the bench harness can never rot, and
 # gives each fuzz target a short live-fuzz burst beyond its seed corpus.
-.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench validate
+.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate validate
 
 check: build vet test bench-smoke fuzz-smoke
 
@@ -38,6 +38,14 @@ storagebench:
 
 schedbench:
 	go run ./cmd/azbench -run schedbench
+
+simbench:
+	go run ./cmd/azbench -run simbench
+
+# Benchstat-style regression step: rerun the kernel churn suites (min of
+# five) and fail on >10% slowdown against the checked-in BENCH_sim.json.
+simbench-gate:
+	go run ./cmd/azbench -run simbench -gate BENCH_sim.json
 
 # Anchor self-check at validation scale; -workers 4 exercises the parallel
 # scheduler path against the same tolerances.

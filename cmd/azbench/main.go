@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"azureobs/internal/core"
@@ -47,9 +49,39 @@ func run(args []string) int {
 		msg     = fs.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir  = fs.String("svg", "", "also write SVG figures into this directory")
-		bench   = fs.String("benchout", "", "output path for the netbench/storagebench/schedbench artifact (default BENCH_<suite>.json)")
+		bench   = fs.String("benchout", "", "output path for the netbench/storagebench/schedbench/simbench artifact (default BENCH_<suite>.json)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+		gate    = fs.String("gate", "", "simbench only: regression-gate mode — rerun kernel churn suites and fail if >10% slower than this BENCH_sim.json")
 	)
 	fs.Parse(args)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -92,6 +124,15 @@ func run(args []string) int {
 		}
 		runSchedBench(*seed, out)
 		return 0
+	case "simbench":
+		if *gate != "" {
+			return runSimGate(*gate)
+		}
+		out := *bench
+		if out == "" {
+			out = "BENCH_sim.json"
+		}
+		return runSimBench(*seed, *quick, out)
 	}
 
 	proto := core.Proto{Seed: *seed, Workers: *workers}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"time"
+
+	"azureobs/internal/sim"
+)
+
+// This file isolates the kernel-API idioms the churn workloads exercise, so
+// the identical harness can be rebuilt against the pre-overhaul kernel when
+// recapturing seed baselines: swap these bodies for the legacy spelling
+// (Cancel + Recycle + Schedule), `git stash push -- internal/sim
+// internal/netsim`, run `azbench -run simbench`, pop, and restore.
+
+// cancelReplace retires a pending completion: the netsim remove/stall idiom.
+// Post-overhaul this is a single lazy CancelRecycle — the heap is not
+// touched unless the event sits in a leaf slot.
+func cancelReplace(eng *sim.Engine, ev *sim.Event) {
+	eng.CancelRecycle(ev)
+}
+
+// moveEvent slides a pending completion to a new time: the netsim
+// rate-change idiom. Post-overhaul the event sifts in place; the legacy
+// spelling is Cancel + Recycle + Schedule of a replacement.
+func moveEvent(eng *sim.Engine, ev *sim.Event, at time.Duration, fn func()) *sim.Event {
+	eng.Reschedule(ev, at)
+	return ev
+}
+
+// fillCellStats records the engine's process/worker accounting. The legacy
+// capture build leaves these fields zero — the pre-overhaul kernel has no
+// worker pool and no such counters.
+func fillCellStats(st *fig1CellStats, e *sim.Engine) {
+	st.SpawnedProcs = e.ProcsSpawned()
+	st.WorkersCreated = e.WorkersCreated()
+	st.WorkersReused = e.WorkersReused()
+	st.WorkersPeak = e.WorkersPeak()
+}

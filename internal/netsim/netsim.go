@@ -237,8 +237,9 @@ func (f *Fabric) remove(fl *Flow) {
 	}
 	fl.completed = true
 	if fl.complete != nil {
-		f.eng.Cancel(fl.complete)
-		f.eng.Recycle(fl.complete)
+		// Lazy cancel: the event stays queued until the kernel pops it, and
+		// CancelRecycle hands its allocation back to the pool at that point.
+		f.eng.CancelRecycle(fl.complete)
 		fl.complete = nil
 	}
 	// O(1) swap-delete: the flow knows its own slot.
@@ -455,8 +456,7 @@ func (f *Fabric) reschedule() {
 		if fl.rate <= 0 {
 			// Stalled; a future reallocate will revive it.
 			if fl.complete != nil {
-				f.eng.Cancel(fl.complete)
-				f.eng.Recycle(fl.complete)
+				f.eng.CancelRecycle(fl.complete)
 				fl.complete = nil
 			}
 			continue
@@ -480,8 +480,13 @@ func (f *Fabric) reschedule() {
 			if fl.complete.Time() == at {
 				continue
 			}
-			f.eng.Cancel(fl.complete)
-			f.eng.Recycle(fl.complete)
+			// Sift the pending event to its new slot in place. The event
+			// takes a fresh sequence number, exactly as the old
+			// cancel/recycle/schedule round trip did, so traces stay
+			// bit-identical while the hot reallocation path skips the heap
+			// removal and free-list churn entirely.
+			f.eng.Reschedule(fl.complete, at)
+			continue
 		}
 		fl.complete = f.eng.Schedule(at, fl.onFire)
 	}

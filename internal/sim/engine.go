@@ -11,10 +11,16 @@
 // unbuffered channels, and simultaneous events fire in schedule order
 // (ties broken by a monotonically increasing sequence number). Two runs of
 // the same program with the same seeds produce identical traces.
+//
+// The calendar is a hand-rolled 4-ary min-heap of *Event ordered by
+// (time, sequence), with lazy deletion: Cancel marks the event and the pop
+// loop discards marked entries, so the high-churn reschedule patterns of the
+// network solver cost O(1) per cancel instead of an O(log n) removal. See
+// DESIGN.md §10 for the data-structure rationale and the determinism
+// argument.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -28,13 +34,22 @@ import (
 // alive, but do not by themselves keep Run going — Run returns once only
 // daemon events remain.
 type Event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	index    int // heap index; -1 once popped or canceled
+	at  time.Duration
+	seq uint64
+	fn  func()
+
+	// pfn/proc are the closure-free form used for kernel-internal process
+	// events (start, wake): pfn is a method expression like (*Proc).wakeup —
+	// a package-level value — so scheduling a sleep or spawn allocates no
+	// closure. Exactly one of fn and pfn is set.
+	pfn  func(*Proc)
+	proc *Proc
+
+	index    int // heap index; -1 once popped
 	canceled bool
 	daemon   bool
 	pooled   bool // sitting in the engine's free list (Recycle called)
+	reclaim  bool // engine-owned: recycled automatically once it leaves the heap
 }
 
 // Time reports the virtual time at which the event is (or was) scheduled.
@@ -43,40 +58,128 @@ func (ev *Event) Time() time.Duration { return ev.at }
 // Canceled reports whether Cancel was called on the event.
 func (ev *Event) Canceled() bool { return ev.canceled }
 
-type eventHeap []*Event
+// The calendar heap is 4-ary: children of slot i live at 4i+1..4i+4. A wider
+// node trades deeper compare fans on the way down for roughly half the tree
+// depth, which wins on the pop-heavy pattern of a simulation calendar (every
+// event is popped exactly once, while sift-up after push usually stops after
+// one level because times are mostly appended in near order). The heap is
+// specialized to events — no container/heap interface calls, no any
+// round-trips — and each slot carries the (at, seq) sort key inline, so the
+// sift loops compare contiguous memory and only touch the Event (to update
+// its slot index, for Reschedule's sift-in-place) when an entry actually
+// moves.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the calendar's total order: earlier time first, ties broken by
+// schedule sequence. It is the one comparison all sift loops inline.
+func (a heapEntry) before(b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// heapPush appends ev and restores the heap order upward.
+func (e *Engine) heapPush(ev *Event) {
+	h := e.events
+	i := len(h)
+	nv := heapEntry{at: ev.at, seq: ev.seq, ev: ev}
+	h = append(h, nv)
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if p.before(nv) {
+			break
+		}
+		h[i] = p
+		p.ev.index = i
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	h[i] = nv
+	ev.index = i
+	e.events = h
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// heapPop removes and returns the earliest event.
+func (e *Engine) heapPop() *Event {
+	h := e.events
+	root := h[0].ev
+	root.index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = heapEntry{}
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		h[0] = last
+		last.ev.index = 0
+		e.heapSiftDown(0)
+	}
+	return root
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// heapSiftDown restores heap order from slot i toward the leaves.
+func (e *Engine) heapSiftDown(i int) {
+	h := e.events
+	n := len(h)
+	nv := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		mv := h[first]
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if cv := h[c]; cv.before(mv) {
+				m, mv = c, cv
+			}
+		}
+		if nv.before(mv) {
+			break
+		}
+		h[i] = mv
+		mv.ev.index = i
+		i = m
+	}
+	h[i] = nv
+	nv.ev.index = i
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// heapSiftUp restores heap order from slot i toward the root.
+func (e *Engine) heapSiftUp(i int) {
+	h := e.events
+	nv := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if p.before(nv) {
+			break
+		}
+		h[i] = p
+		p.ev.index = i
+		i = parent
+	}
+	h[i] = nv
+	nv.ev.index = i
 }
+
+// maxEventPool caps the event free list. A churn spike (say, a 192-flow
+// reallocation storm) briefly retires hundreds of events; without a cap the
+// free list keeps that peak pinned for the rest of the run. Beyond the
+// high-water mark, recycled events are dropped for the GC instead.
+const maxEventPool = 4096
 
 // Engine is a discrete-event simulation kernel. The zero value is not ready
 // for use; construct one with NewEngine.
 type Engine struct {
 	now     time.Duration
-	events  eventHeap
+	events  []heapEntry // 4-ary min-heap by (at, seq)
 	seq     uint64
 	running bool
 	stopped bool
@@ -86,8 +189,14 @@ type Engine struct {
 	procs int
 
 	// foreground counts pending non-daemon, non-canceled events; Run stops
-	// when it reaches zero.
+	// when it reaches zero. Cancel decrements it immediately even though the
+	// canceled event stays queued until lazily popped.
 	foreground int
+
+	// dead counts canceled events still occupying heap slots. When they
+	// outnumber the live events the heap is compacted in one O(n) pass, so
+	// a cancel-heavy burst cannot degrade every subsequent pop.
+	dead int
 
 	// fired counts executed events, exposed for instrumentation and tests.
 	fired uint64
@@ -99,8 +208,22 @@ type Engine struct {
 	// pool holds recycled Event structs for reuse by the scheduling methods.
 	// High-churn subsystems (netsim reschedules every active flow's
 	// completion on each rate change) return events here via Recycle instead
-	// of leaving one garbage Event per churn event.
+	// of leaving one garbage Event per churn event. Capped at maxEventPool.
 	pool []*Event
+
+	// idle holds parked workers: goroutines (with their handoff channel
+	// pairs) whose process finished and which the next Spawn reuses instead
+	// of starting a fresh goroutine. Drained when Run/RunUntil returns so an
+	// abandoned engine leaks no goroutines.
+	idle []*worker
+
+	// Worker-pool accounting, exposed for the simbench observability record
+	// and pool-leak guards.
+	procsSpawned   uint64
+	workersCreated uint64
+	workersReused  uint64
+	workersLive    int
+	workersPeak    int
 
 	// inv is the invariant harness; nil unless EnableInvariants was called
 	// (or SetDefaultInvariants flipped the package default before NewEngine).
@@ -136,11 +259,28 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events
-// (including canceled ones that have not been popped).
+// (including canceled ones that have not been lazily popped).
 func (e *Engine) Pending() int { return len(e.events) }
 
 // LiveProcs returns the number of spawned processes that have not finished.
 func (e *Engine) LiveProcs() int { return e.procs }
+
+// FreeEvents returns the number of events currently parked in the free list.
+func (e *Engine) FreeEvents() int { return len(e.pool) }
+
+// ProcsSpawned returns the number of processes ever spawned — each one would
+// have been a fresh goroutine before worker reuse.
+func (e *Engine) ProcsSpawned() uint64 { return e.procsSpawned }
+
+// WorkersCreated returns the number of worker goroutines actually started.
+func (e *Engine) WorkersCreated() uint64 { return e.workersCreated }
+
+// WorkersReused returns the number of Spawns served by a parked worker.
+func (e *Engine) WorkersReused() uint64 { return e.workersReused }
+
+// WorkersPeak returns the high-water mark of live worker goroutines; it
+// tracks peak process concurrency, not total spawns, unless the pool leaks.
+func (e *Engine) WorkersPeak() int { return e.workersPeak }
 
 // Schedule arranges for fn to run at absolute virtual time at. Scheduling in
 // the past panics: the simulated world cannot rewrite history.
@@ -155,24 +295,56 @@ func (e *Engine) ScheduleDaemon(at time.Duration, fn func()) *Event {
 }
 
 func (e *Engine) schedule(at time.Duration, fn func(), daemon bool) *Event {
+	return e.scheduleOwned(at, fn, daemon, false)
+}
+
+// scheduleOwned is schedule plus the reclaim flag: a reclaimed event belongs
+// to the engine and returns to the free list on its own as soon as it leaves
+// the heap — right before its callback runs, or at the lazy pop that
+// discards it after a cancel. Only kernel-internal events (process start and
+// wake events) are scheduled this way; external callers hold references and
+// must keep explicit Recycle control.
+func (e *Engine) scheduleOwned(at time.Duration, fn func(), daemon, reclaim bool) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	var ev *Event
-	if n := len(e.pool); n > 0 {
-		ev = e.pool[n-1]
-		e.pool[n-1] = nil
-		e.pool = e.pool[:n-1]
-		*ev = Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
-	} else {
-		ev = &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
-	}
+	ev := e.alloc()
+	*ev = Event{at: at, seq: e.seq, fn: fn, daemon: daemon, reclaim: reclaim}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.heapPush(ev)
 	if !daemon {
 		e.foreground++
 	}
 	return ev
+}
+
+// scheduleProc schedules a kernel-internal process event: pfn is a method
+// expression (no closure allocation) applied to p when the event fires. All
+// such events are engine-owned (reclaim): they recycle themselves, so the
+// wake event a sleep retires is immediately reusable for the next sleep.
+func (e *Engine) scheduleProc(at time.Duration, pfn func(*Proc), p *Proc, daemon bool) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := e.alloc()
+	*ev = Event{at: at, seq: e.seq, pfn: pfn, proc: p, daemon: daemon, reclaim: true}
+	e.seq++
+	e.heapPush(ev)
+	if !daemon {
+		e.foreground++
+	}
+	return ev
+}
+
+// alloc pops an Event from the free list, or mints one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &Event{}
 }
 
 // After arranges for fn to run d from now. Negative d panics.
@@ -185,58 +357,236 @@ func (e *Engine) AfterDaemon(d time.Duration, fn func()) *Event {
 	return e.ScheduleDaemon(e.now+d, fn)
 }
 
-// Cancel removes the event from the calendar if it has not fired. It is safe
-// to cancel an event twice or after it fired; later cancels are no-ops.
+// Cancel marks the event so it will not fire. The cancel is lazy — O(1): the
+// event stays in the calendar and is discarded when the pop loop reaches it.
+// It is safe to cancel an event twice or after it fired; later cancels are
+// no-ops.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled {
 		return
 	}
 	ev.canceled = true
+	// A canceled event can never fire, so drop the callback references now: a
+	// corpse awaiting its lazy pop must not keep the closure's captures — for
+	// long-dated timers, potentially megabytes of request state — reachable.
+	ev.fn, ev.pfn, ev.proc = nil, nil, nil
 	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
-		ev.index = -1
 		if !ev.daemon {
 			e.foreground--
 		}
+		if e.tryRemoveLeaf(ev) {
+			if ev.reclaim {
+				e.recycle(ev)
+			}
+		} else {
+			e.noteDead()
+		}
+	}
+}
+
+// tryRemoveLeaf detaches a canceled event from the calendar immediately when
+// it occupies a leaf slot, reporting whether it did. Three quarters of a
+// 4-ary heap is leaves, and pulling one out is O(1): the vacated slot takes
+// the last entry, which as a fellow leaf can only need to move up. Internal
+// slots would need a full sift cascade — exactly what lazy deletion exists
+// to avoid — so those stay for the pop loop or the compactor.
+func (e *Engine) tryRemoveLeaf(ev *Event) bool {
+	h := e.events
+	i := ev.index
+	n := len(h) - 1
+	if i<<2+1 <= n {
+		return false // has a child; leave it for lazy deletion
+	}
+	last := h[n]
+	h[n] = heapEntry{}
+	e.events = h[:n]
+	ev.index = -1
+	if i < n {
+		h[i] = last
+		last.ev.index = i
+		e.heapSiftUp(i)
+	}
+	return true
+}
+
+// noteDead records one more canceled event left in the heap, compacting the
+// calendar once corpses outnumber live entries. Compaction keeps lazy
+// deletion O(1) amortized without letting a cancel storm (every flow of a
+// large mesh rescheduled away at once) bloat the heap that every later pop
+// must sift through.
+func (e *Engine) noteDead() {
+	e.dead++
+	if e.dead > len(e.events)/2 && len(e.events) >= 64 {
+		e.compact()
+	}
+}
+
+// compact removes canceled events from the calendar in one pass: filter,
+// then restore the heap property bottom-up in O(n). Relative order of the
+// survivors is untouched — order is decided by (at, seq) alone — so traces
+// are unaffected.
+func (e *Engine) compact() {
+	h := e.events
+	n := 0
+	for _, entry := range h {
+		ev := entry.ev
+		if ev.canceled {
+			ev.index = -1
+			if ev.reclaim {
+				e.recycle(ev)
+			}
+			continue
+		}
+		h[n] = entry
+		ev.index = n
+		n++
+	}
+	for i := n; i < len(h); i++ {
+		h[i] = heapEntry{}
+	}
+	e.events = h[:n]
+	for i := (n - 2) >> 2; i >= 0; i-- {
+		e.heapSiftDown(i)
+	}
+	e.dead = 0
+}
+
+// CancelRecycle cancels ev and hands its allocation back to the engine: the
+// event returns to the free list automatically once the pop loop discards it
+// (immediately, if it already fired). The caller must drop its reference —
+// with lazy cancellation a canceled event cannot be recycled by hand until
+// it leaves the heap, which only the kernel observes. Calling it twice, or
+// after Recycle, panics like a double free.
+func (e *Engine) CancelRecycle(ev *Event) {
+	if ev == nil {
+		return
+	}
+	if ev.pooled {
+		panic("sim: CancelRecycle of an already recycled event")
+	}
+	if ev.reclaim {
+		panic("sim: CancelRecycle called twice on the same event")
+	}
+	if !ev.canceled {
+		ev.canceled = true
+		ev.fn, ev.pfn, ev.proc = nil, nil, nil // as in Cancel: corpses retain nothing
+		if ev.index >= 0 {
+			if !ev.daemon {
+				e.foreground--
+			}
+			// Leaf removal and compaction both pop ev from the heap right
+			// here; the index check below then recycles it immediately.
+			if !e.tryRemoveLeaf(ev) {
+				e.noteDead()
+			}
+		}
+	}
+	if ev.index >= 0 {
+		ev.reclaim = true
+	} else {
+		e.recycle(ev)
+	}
+}
+
+// Reschedule moves a still-pending event to a new time, exactly as if it had
+// been canceled and a fresh event scheduled for at: the event takes a fresh
+// sequence number, so its ordering against other events at the same instant
+// is bit-identical to the cancel+schedule path — while the Event struct and
+// its callback are reused in place with one sift instead of a heap removal,
+// a free-list round trip and a push. Rescheduling an event that already
+// fired, was canceled, or was recycled panics.
+func (e *Engine) Reschedule(ev *Event, at time.Duration) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	if ev == nil || ev.canceled || ev.pooled || ev.index < 0 {
+		panic("sim: Reschedule of an event that is not pending")
+	}
+	old := ev.at
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	e.events[ev.index].at = at
+	e.events[ev.index].seq = ev.seq
+	// A fresh (larger) seq never moves an event up past an equal-time entry,
+	// so only one direction of sift is needed per time change.
+	if at >= old {
+		e.heapSiftDown(ev.index)
+	} else {
+		e.heapSiftUp(ev.index)
 	}
 }
 
 // Recycle returns an event to the engine's free list so a later scheduling
 // call can reuse the allocation. Only the holder of the last reference may
-// recycle, and only once the event can no longer fire: after its callback ran
-// (recycling from inside the callback is fine) or after Cancel. Recycling an
-// event that is still on the calendar, or twice, panics — a stale recycled
-// pointer would silently corrupt whatever event reuses the slot.
+// recycle, and only once the event has left the calendar: after its callback
+// ran (recycling from inside the callback is fine). A canceled event stays
+// queued until the kernel lazily pops it — use CancelRecycle to hand such an
+// event back without waiting. Recycling an event that is still scheduled, or
+// twice, panics — a stale recycled pointer would silently corrupt whatever
+// event reuses the slot.
 func (e *Engine) Recycle(ev *Event) {
 	if ev == nil {
 		return
 	}
 	if ev.index >= 0 {
+		if ev.canceled {
+			panic("sim: Recycle of a canceled event still queued; cancellation is lazy — use CancelRecycle, or wait until the kernel pops it")
+		}
 		panic("sim: Recycle of an event still scheduled")
 	}
 	if ev.pooled {
 		panic("sim: Recycle called twice on the same event")
 	}
+	e.recycle(ev)
+}
+
+// recycle parks ev in the free list, or drops it once the list is at its
+// high-water mark. The caller has already validated ownership.
+func (e *Engine) recycle(ev *Event) {
 	ev.pooled = true
+	ev.reclaim = false
 	ev.fn = nil
-	e.pool = append(e.pool, ev)
+	ev.pfn = nil
+	ev.proc = nil
+	if len(e.pool) < maxEventPool {
+		e.pool = append(e.pool, ev)
+	}
 }
 
 // Step fires the next event, advancing the clock. It returns false when the
-// calendar is empty.
+// calendar holds no live events. Canceled events reaching the root are
+// discarded here — the deferred half of the lazy Cancel.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+		ev := e.heapPop()
 		if ev.canceled {
+			e.dead--
+			if ev.reclaim {
+				e.recycle(ev)
+			}
 			continue
 		}
 		if !ev.daemon {
 			e.foreground--
 		}
-		e.inv.Checkf(ev.at >= e.now, "event time %v before clock %v", ev.at, e.now)
+		if e.inv != nil && ev.at < e.now {
+			e.inv.Checkf(false, "event time %v before clock %v", ev.at, e.now)
+		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn, pfn, parg := ev.fn, ev.pfn, ev.proc
+		if ev.reclaim {
+			// Kernel-owned event: back to the free list before the callback,
+			// so a wake event is immediately reusable for the next sleep the
+			// woken process performs.
+			e.recycle(ev)
+		}
+		if pfn != nil {
+			pfn(parg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -252,7 +602,10 @@ func (e *Engine) Run() {
 	}
 	e.running = true
 	e.stopped = false
-	defer func() { e.running = false }()
+	defer func() {
+		e.running = false
+		e.releaseIdleWorkers()
+	}()
 	for !e.stopped {
 		if e.foreground == 0 && e.procs == 0 {
 			break
@@ -272,15 +625,23 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	}
 	e.running = true
 	e.stopped = false
-	defer func() { e.running = false }()
+	defer func() {
+		e.running = false
+		e.releaseIdleWorkers()
+	}()
 	for !e.stopped {
 		if len(e.events) == 0 {
 			break
 		}
-		// Peek: heap root is index 0.
-		next := e.events[0]
+		// Peek: heap root is slot 0. Canceled roots are discarded without
+		// firing regardless of the deadline.
+		next := e.events[0].ev
 		if next.canceled {
-			heap.Pop(&e.events)
+			e.heapPop()
+			e.dead--
+			if next.reclaim {
+				e.recycle(next)
+			}
 			continue
 		}
 		if next.at > deadline {

@@ -17,20 +17,31 @@ const (
 	procFinished                   // body returned or was killed
 )
 
-// Proc is a simulated process: a goroutine that runs user code and blocks on
-// kernel primitives. Exactly one of {kernel, some process} executes at any
-// instant; the handoff is synchronous through unbuffered channels, which
-// keeps the simulation deterministic regardless of the Go scheduler.
+// Proc is a simulated process: user code running on a worker goroutine that
+// blocks on kernel primitives. Exactly one of {kernel, some process} executes
+// at any instant; the handoff is synchronous through unbuffered channels,
+// which keeps the simulation deterministic regardless of the Go scheduler.
 type Proc struct {
 	eng  *Engine
 	name string
 
-	resume chan resumeMsg // kernel -> process
-	yield  chan struct{}  // process -> kernel
+	// w is the worker executing this process's body: a goroutine plus its
+	// resume/yield channel pair, leased from the engine's parked-worker pool
+	// when the start event fires and returned when the body finishes. nil
+	// before start and after the worker is handed back.
+	w *worker
 
 	state  procState
 	killed bool
 	daemon bool
+
+	// wakeKill is latched by scheduleResumeAt and read by the wake event:
+	// keeping it on the Proc (instead of capturing it in a per-wake closure)
+	// is what lets every wake share the closure-free (*Proc).wakeup path.
+	wakeKill bool
+
+	// body holds the user function between Spawn and the start event.
+	body func(p *Proc)
 
 	// wake is the scheduled event that will resume this process, when it is
 	// suspended with a known resume time (Sleep) or has been selected for
@@ -47,8 +58,109 @@ type resumeMsg struct {
 	kill bool
 }
 
+// worker is a reusable process executor: one goroutine plus the unbuffered
+// channel pair used for the deterministic kernel↔process handoff. A closed-
+// loop benchmark cell spawns one process per request — hundreds of thousands
+// of processes whose peak concurrency is only a few hundred — so leasing
+// workers from a parked pool replaces millions of goroutine + channel-pair
+// creations with a handful.
+type worker struct {
+	task   chan workItem // kernel -> worker: run a process body
+	resume chan resumeMsg
+	yield  chan struct{}
+}
+
+type workItem struct {
+	p  *Proc
+	fn func(p *Proc)
+}
+
+func (w *worker) loop() {
+	for item := range w.task {
+		w.exec(&item)
+	}
+}
+
+// exec runs one process body. It empties the workItem slot it is handed
+// before dispatching: a worker can park idle across whole GC cycles, and a
+// lingering workItem on its stack would keep the last process — and
+// everything the body closure captured — reachable.
+func (w *worker) exec(item *workItem) {
+	p, fn := item.p, item.fn
+	*item = workItem{}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killError); !ok {
+				// Genuine panic in user code. Transport it to the kernel
+				// goroutine so it surfaces from Run() on the caller's stack.
+				p.eng.pendingPanic = &procPanic{value: r, stack: debug.Stack(), proc: p.name}
+			}
+		}
+		p.state = procFinished
+		if !p.daemon {
+			p.eng.procs--
+		}
+		w.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// maxIdleWorkers caps the parked-worker pool; beyond it, finishing workers
+// retire. Idle workers cost a goroutine each, so the cap bounds the standing
+// footprint at roughly the peak concurrency any experiment actually reaches.
+const maxIdleWorkers = 1024
+
+// getWorker leases a parked worker, or starts a fresh one. Kernel context.
+func (e *Engine) getWorker() *worker {
+	if n := len(e.idle); n > 0 {
+		w := e.idle[n-1]
+		e.idle[n-1] = nil
+		e.idle = e.idle[:n-1]
+		e.workersReused++
+		return w
+	}
+	w := &worker{
+		task:   make(chan workItem),
+		resume: make(chan resumeMsg),
+		yield:  make(chan struct{}),
+	}
+	e.workersCreated++
+	e.workersLive++
+	if e.workersLive > e.workersPeak {
+		e.workersPeak = e.workersLive
+	}
+	go w.loop()
+	return w
+}
+
+// parkWorker returns a worker whose process finished to the idle pool, or
+// retires it (closing its task channel ends the goroutine). Kill and panic
+// unwinds retire the worker rather than reuse it: both leave by a recover,
+// and a retired worker is provably clean at the cost of one goroutine spawn
+// on a path that is rare by construction. Kernel context.
+func (e *Engine) parkWorker(p *Proc, w *worker) {
+	if p.killed || e.pendingPanic != nil || len(e.idle) >= maxIdleWorkers {
+		close(w.task)
+		e.workersLive--
+		return
+	}
+	e.idle = append(e.idle, w)
+}
+
+// releaseIdleWorkers retires every parked worker. Run/RunUntil call it on
+// the way out so an engine abandoned after a run leaks no goroutines; the
+// next run simply rebuilds the pool on first spawn.
+func (e *Engine) releaseIdleWorkers() {
+	for i, w := range e.idle {
+		close(w.task)
+		e.idle[i] = nil
+		e.workersLive--
+	}
+	e.idle = e.idle[:0]
+}
+
 // killError is the panic payload used to unwind a killed process. It is
-// recovered by the spawn wrapper and never escapes user code.
+// recovered by the worker's exec wrapper and never escapes user code.
 type killError struct{ name string }
 
 func (k killError) Error() string { return "sim: process killed: " + k.name }
@@ -80,47 +192,58 @@ func (e *Engine) spawnAt(at time.Duration, name string, fn func(p *Proc), daemon
 	p := &Proc{
 		eng:    e,
 		name:   name,
-		resume: make(chan resumeMsg),
-		yield:  make(chan struct{}),
 		daemon: daemon,
+		body:   fn,
 	}
 	if !daemon {
 		e.procs++
 	}
-	e.schedule(at, func() {
-		if p.killed {
-			p.state = procFinished
-			if !p.daemon {
-				e.procs--
-			}
-			return
-		}
-		p.state = procRunning
-		go p.run(fn)
-		// Wait for the process to park or finish before the kernel
-		// continues: the synchronous handoff that makes this deterministic.
-		<-p.yield
-		e.checkPanic()
-	}, daemon)
+	e.procsSpawned++
+	e.scheduleProc(at, (*Proc).start, p, daemon)
 	return p
 }
 
-func (p *Proc) run(fn func(p *Proc)) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(killError); !ok {
-				// Genuine panic in user code. Transport it to the kernel
-				// goroutine so it surfaces from Run() on the caller's stack.
-				p.eng.pendingPanic = &procPanic{value: r, stack: debug.Stack(), proc: p.name}
-			}
-		}
+// start is the start event's body (kernel context): lease a worker, hand it
+// the process body, and wait for the first park or finish — the synchronous
+// handoff that makes the simulation deterministic.
+func (p *Proc) start() {
+	e := p.eng
+	fn := p.body
+	p.body = nil
+	if p.killed {
 		p.state = procFinished
 		if !p.daemon {
-			p.eng.procs--
+			e.procs--
 		}
-		p.yield <- struct{}{}
-	}()
-	fn(p)
+		return
+	}
+	p.state = procRunning
+	w := e.getWorker()
+	p.w = w
+	w.task <- workItem{p: p, fn: fn}
+	<-w.yield
+	if p.state == procFinished {
+		p.w = nil
+		e.parkWorker(p, w)
+	}
+	e.checkPanic()
+}
+
+// wakeup is the wake event's body (kernel context): resume the suspended
+// process and wait for it to park again or finish.
+func (p *Proc) wakeup() {
+	e := p.eng
+	p.wake = nil
+	kill := p.wakeKill
+	p.wakeKill = false
+	w := p.w
+	w.resume <- resumeMsg{kill: kill}
+	<-w.yield
+	if p.state == procFinished {
+		p.w = nil
+		e.parkWorker(p, w)
+	}
+	e.checkPanic()
 }
 
 // suspend parks the process until some kernel-context actor schedules its
@@ -130,8 +253,9 @@ func (p *Proc) run(fn func(p *Proc)) {
 func (p *Proc) suspend(detach func()) {
 	p.detach = detach
 	p.state = procSuspended
-	p.yield <- struct{}{}
-	msg := <-p.resume
+	w := p.w
+	w.yield <- struct{}{}
+	msg := <-w.resume
 	p.state = procRunning
 	p.detach = nil
 	if msg.kill {
@@ -141,17 +265,15 @@ func (p *Proc) suspend(detach func()) {
 
 // scheduleResumeAt arranges the kernel to hand control back to the suspended
 // process at absolute time at. Must be called from kernel context, and only
-// when no resume is already pending.
+// when no resume is already pending. The wake event is engine-owned: the
+// kernel recycles it automatically when it fires or when a Kill's cancel is
+// lazily popped.
 func (p *Proc) scheduleResumeAt(at time.Duration, kill bool) {
 	if p.wake != nil {
 		panic("sim: double resume scheduled for process " + p.name)
 	}
-	p.wake = p.eng.schedule(at, func() {
-		p.wake = nil
-		p.resume <- resumeMsg{kill: kill}
-		<-p.yield
-		p.eng.checkPanic()
-	}, p.daemon)
+	p.wakeKill = kill
+	p.wake = p.eng.scheduleProc(at, (*Proc).wakeup, p, p.daemon)
 }
 
 // wakeNow schedules an immediate (current-instant) resume. FIFO order among
@@ -213,6 +335,8 @@ func (p *Proc) Kill() {
 		panic(killError{p.name})
 	case procSuspended:
 		if p.wake != nil {
+			// Lazy cancel; the event is engine-owned (reclaim), so it
+			// returns to the free list when the pop loop discards it.
 			p.eng.Cancel(p.wake)
 			p.wake = nil
 		}

@@ -122,7 +122,9 @@ func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
 		q.removeGetter(w)
 		w.p.wakeNow()
 	})
-	defer p.eng.Cancel(timer)
+	// CancelRecycle rather than Cancel: the timer is dead either way (fired
+	// or canceled), and this hands the allocation back to the event pool.
+	defer p.eng.CancelRecycle(timer)
 	defer q.reputIfKilled(w)
 	p.suspend(func() { q.removeGetter(w) })
 	if w.timedOut {

@@ -1,15 +1,25 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
 
-func TestRecycleReusesAllocation(t *testing.T) {
+func TestCancelRecycleReusesAllocation(t *testing.T) {
 	eng := NewEngine()
 	ev := eng.Schedule(time.Second, func() {})
-	eng.Cancel(ev)
-	eng.Recycle(ev)
+	eng.Schedule(2*time.Second, func() {}) // keeps Run stepping past the cancel
+	eng.CancelRecycle(ev)
+	// The canceled event is still queued (lazy delete); the free list gets
+	// it back only once the pop loop discards it.
+	if eng.FreeEvents() != 0 {
+		t.Fatalf("free list has %d events before the lazy pop", eng.FreeEvents())
+	}
+	eng.Run()
+	if eng.FreeEvents() != 1 {
+		t.Fatalf("free list has %d events after the lazy pop, want 1", eng.FreeEvents())
+	}
 	fired := false
 	ev2 := eng.Schedule(2*time.Second, func() { fired = true })
 	if ev2 != ev {
@@ -21,6 +31,20 @@ func TestRecycleReusesAllocation(t *testing.T) {
 	eng.Run()
 	if !fired {
 		t.Fatal("reused event did not fire")
+	}
+}
+
+func TestCancelRecycleAfterFire(t *testing.T) {
+	// On an already-fired event, CancelRecycle recycles immediately.
+	eng := NewEngine()
+	ev := eng.Schedule(time.Second, func() {})
+	eng.Run()
+	eng.CancelRecycle(ev)
+	if eng.FreeEvents() != 1 {
+		t.Fatalf("free list has %d events, want 1", eng.FreeEvents())
+	}
+	if ev2 := eng.Schedule(2*time.Second, func() {}); ev2 != ev {
+		t.Fatal("schedule did not reuse the recycled event")
 	}
 }
 
@@ -36,6 +60,7 @@ func TestRecycleFromInsideCallback(t *testing.T) {
 
 func TestRecycleNilIsNoop(t *testing.T) {
 	NewEngine().Recycle(nil)
+	NewEngine().CancelRecycle(nil)
 }
 
 func TestRecycleScheduledPanics(t *testing.T) {
@@ -49,10 +74,52 @@ func TestRecycleScheduledPanics(t *testing.T) {
 	eng.Recycle(ev)
 }
 
+func TestRecycleCanceledStillQueuedPanics(t *testing.T) {
+	// Cancel is lazy for internal heap slots: the event stays in the
+	// calendar, so a hand Recycle in the old cancel-then-recycle order
+	// would hand out an event the heap still points at. It must panic,
+	// with a message that names the fix. (Canceled leaves detach eagerly;
+	// the extra events below give ev children so it stays queued.)
+	eng := NewEngine()
+	ev := eng.Schedule(time.Second, func() {})
+	for i := 2; i <= 5; i++ {
+		eng.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	eng.Cancel(ev)
+	if !ev.Canceled() || ev.index < 0 {
+		t.Fatalf("canceled=%v index=%d; want a canceled event still queued", ev.Canceled(), ev.index)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("recycling a canceled-but-queued event did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "CancelRecycle") {
+			t.Fatalf("panic %v does not point the caller at CancelRecycle", r)
+		}
+	}()
+	eng.Recycle(ev)
+}
+
+func TestRecycleCanceledAfterLazyPop(t *testing.T) {
+	// The other order: once the kernel has lazily popped the canceled
+	// event, the holder may recycle it by hand.
+	eng := NewEngine()
+	ev := eng.Schedule(time.Second, func() {})
+	eng.Schedule(2*time.Second, func() {}) // keeps Run going past the cancel
+	eng.Cancel(ev)
+	eng.Run()
+	eng.Recycle(ev)
+	if ev2 := eng.Schedule(3*time.Second, func() {}); ev2 != ev {
+		t.Fatal("schedule did not reuse the recycled event")
+	}
+}
+
 func TestRecycleTwicePanics(t *testing.T) {
 	eng := NewEngine()
 	ev := eng.Schedule(time.Second, func() {})
-	eng.Cancel(ev)
+	eng.Run()
 	eng.Recycle(ev)
 	defer func() {
 		if recover() == nil {
@@ -62,18 +129,56 @@ func TestRecycleTwicePanics(t *testing.T) {
 	eng.Recycle(ev)
 }
 
+func TestCancelRecycleTwicePanics(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.Schedule(time.Second, func() {})
+	eng.CancelRecycle(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double CancelRecycle did not panic")
+		}
+	}()
+	eng.CancelRecycle(ev)
+}
+
 func TestRecycledEventsDoNotAlias(t *testing.T) {
 	// A recycled event reused for a different callback must fire the new
 	// callback at the new time, with ordering against fresh events intact.
 	eng := NewEngine()
 	var order []int
 	a := eng.Schedule(time.Second, func() {})
-	eng.Cancel(a)
-	eng.Recycle(a)
-	eng.Schedule(2*time.Second, func() { order = append(order, 1) }) // reuses a
-	eng.Schedule(2*time.Second, func() { order = append(order, 2) }) // fresh
+	eng.CancelRecycle(a)
+	eng.Schedule(2*time.Second, func() { order = append(order, 1) })
+	eng.Schedule(2*time.Second, func() { order = append(order, 2) })
 	eng.Run()
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
 		t.Fatalf("order = %v, want [1 2]", order)
 	}
+}
+
+func TestEventPoolCapped(t *testing.T) {
+	// Satellite: a churn spike must not pin its peak as free-list memory
+	// for the rest of the run. Beyond maxEventPool, recycled events are
+	// dropped for the GC.
+	eng := NewEngine()
+	n := maxEventPool + 512
+	evs := make([]*Event, n)
+	for i := range evs {
+		evs[i] = eng.Schedule(time.Duration(i), func() {})
+	}
+	eng.Run()
+	for _, ev := range evs {
+		eng.Recycle(ev)
+	}
+	if got := eng.FreeEvents(); got != maxEventPool {
+		t.Fatalf("free list holds %d events, want cap %d", got, maxEventPool)
+	}
+	// Overflowed events are still marked pooled, so a double recycle of a
+	// dropped event is caught like any other.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double recycle of a dropped event did not panic")
+		}
+	}()
+	eng.Recycle(evs[n-1])
 }

@@ -45,7 +45,9 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
 		s.remove(w)
 		w.p.wakeNow()
 	})
-	defer p.eng.Cancel(timer)
+	// CancelRecycle rather than Cancel: the timer is dead either way (fired
+	// or canceled), and this hands the allocation back to the event pool.
+	defer p.eng.CancelRecycle(timer)
 	p.suspend(func() { s.remove(w) })
 	return w.timedOut
 }
