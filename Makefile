@@ -2,9 +2,9 @@
 # everything, vets, runs the full test suite under the race detector,
 # smoke-runs every benchmark once so the bench harness can never rot, and
 # gives each fuzz target a short live-fuzz burst beyond its seed corpus.
-.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate validate
+.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke validate
 
-check: build vet test bench-smoke fuzz-smoke
+check: build vet test bench-smoke fuzz-smoke scalebench-smoke
 
 build:
 	go build ./...
@@ -46,6 +46,19 @@ simbench:
 # five) and fail on >10% slowdown against the checked-in BENCH_sim.json.
 simbench-gate:
 	go run ./cmd/azbench -run simbench -gate BENCH_sim.json
+
+# Full client-scale ladder (1k/10k/100k/1M clients) refreshing the checked-in
+# BENCH_scale.json; asserts flat/goroutine trace equivalence, the 10x
+# per-client footprint gap, and an allocation-free flat event path.
+scalebench:
+	go run ./cmd/azbench -run scalebench
+
+# Reduced ladder (1k/10k) with the same assertions at smoke thresholds: flat
+# vs goroutine traces must match exactly, flat steady state must not
+# allocate, and the 10k rung must respect the RSS budget. Writes its
+# artifact to /tmp so the checked-in full-scale capture stays untouched.
+scalebench-smoke:
+	go run ./cmd/azbench -run scalebench -quick -benchout /tmp/BENCH_scale_smoke.json
 
 # Anchor self-check at validation scale; -workers 4 exercises the parallel
 # scheduler path against the same tolerances.

@@ -41,7 +41,7 @@ func main() { os.Exit(run(os.Args[1:])) }
 func run(args []string) int {
 	fs := flag.NewFlagSet("azbench", flag.ExitOnError)
 	var (
-		runName = fs.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench")
+		runName = fs.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench|simbench|scalebench")
 		seed    = fs.Uint64("seed", 42, "root random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for fast runs")
 		workers = fs.Int("workers", 1, "scheduler width: independent experiment cells run on this many goroutines (1 = serial; results are bit-identical at any width)")
@@ -133,6 +133,12 @@ func run(args []string) int {
 			out = "BENCH_sim.json"
 		}
 		return runSimBench(*seed, *quick, out)
+	case "scalebench":
+		out := *bench
+		if out == "" {
+			out = "BENCH_scale.json"
+		}
+		return runScaleBench(*seed, *quick, out)
 	}
 
 	proto := core.Proto{Seed: *seed, Workers: *workers}

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; its memory
+// instrumentation distorts allocation and footprint measurements, so the
+// scalebench memory gates are skipped under -race (trace equivalence still
+// runs).
+const raceEnabled = true

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+// TestScaleRungEquivalence pins scalebench's core claim at test scale: the
+// flat-actor and goroutine-per-client runs of the same cell consume the same
+// draws and fire the same events, so every virtual-execution observable
+// matches exactly.
+func TestScaleRungEquivalence(t *testing.T) {
+	flat := runScaleRung(42, 1000, true)
+	goro := runScaleRung(42, 1000, false)
+	if !sameTrace(flat, goro) {
+		t.Fatalf("flat and goroutine traces diverge at 1000 clients:\nflat: %+v\ngoro: %+v", flat, goro)
+	}
+	if flat.Ops+flat.Failures != 1000*scaleOpsPerClient {
+		t.Fatalf("accounting hole: ok=%d failed=%d, want %d total", flat.Ops, flat.Failures, 1000*scaleOpsPerClient)
+	}
+	if flat.ServerRequests <= flat.Ops+flat.Failures {
+		t.Fatalf("server saw %d requests for %d operations: the rung is not exercising the retry machinery",
+			flat.ServerRequests, flat.Ops+flat.Failures)
+	}
+}

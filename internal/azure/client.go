@@ -19,8 +19,10 @@ import (
 type Client struct {
 	cloud *Cloud
 	vm    *fabric.VM
-	blob  *blobsvc.Session
-	rng   *simrand.RNG
+	id    int
+	blob  *blobsvc.Session // lazily opened by blobSession
+
+	rng *simrand.RNG
 
 	// stats tallies every operation issued through this client — the
 	// client-side error accounting the ModisAzure logs were built from.
@@ -30,6 +32,18 @@ type Client struct {
 	// client-side instrumentation hook applications use to build the
 	// Section 6.3 monitoring infrastructure.
 	onOp func(op string, d time.Duration, err error)
+
+	// flat holds the client's flat-mode plumbing (cached completion
+	// wrappers), created on first flat call.
+	flat *clientFlat
+}
+
+// blobSession opens the client's blob session on first use.
+func (cl *Client) blobSession() *blobsvc.Session {
+	if cl.blob == nil {
+		cl.blob = cl.cloud.Blob.NewSession(cl.id)
+	}
+	return cl.blob
 }
 
 // SetRecorder installs an observer called after every storage operation
@@ -66,7 +80,7 @@ func (cl *Client) CreateContainer(name string) { cl.cloud.Blob.CreateContainer(n
 // GetBlob downloads a blob in full and returns its size.
 func (cl *Client) GetBlob(p *sim.Proc, container, name string) (int64, error) {
 	return observe(cl, p, "blob.Get", func() (int64, error) {
-		return cl.blob.Get(p, container, name)
+		return cl.blobSession().Get(p, container, name)
 	})
 }
 
@@ -74,7 +88,7 @@ func (cl *Client) GetBlob(p *sim.Proc, container, name string) (int64, error) {
 // CodeBlobExists.
 func (cl *Client) PutBlob(p *sim.Proc, container, name string, size int64, overwrite bool) error {
 	_, err := observe(cl, p, "blob.Put", func() (struct{}, error) {
-		return struct{}{}, cl.blob.Put(p, container, name, size, overwrite)
+		return struct{}{}, cl.blobSession().Put(p, container, name, size, overwrite)
 	})
 	return err
 }
@@ -82,14 +96,14 @@ func (cl *Client) PutBlob(p *sim.Proc, container, name string, size int64, overw
 // BlobExists checks existence.
 func (cl *Client) BlobExists(p *sim.Proc, container, name string) (bool, error) {
 	return observe(cl, p, "blob.Exists", func() (bool, error) {
-		return cl.blob.Exists(p, container, name)
+		return cl.blobSession().Exists(p, container, name)
 	})
 }
 
 // DeleteBlob removes a blob.
 func (cl *Client) DeleteBlob(p *sim.Proc, container, name string) error {
 	_, err := observe(cl, p, "blob.Delete", func() (struct{}, error) {
-		return struct{}{}, cl.blob.Delete(p, container, name)
+		return struct{}{}, cl.blobSession().Delete(p, container, name)
 	})
 	return err
 }

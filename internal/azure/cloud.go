@@ -137,12 +137,15 @@ func (c *Cloud) StoragePipeline(name string) *reqpath.Pipeline {
 
 // NewClient opens a storage client bound to a VM. Each concurrent client
 // must have its own Client: per-connection bandwidth caps and random streams
-// are per-client state.
+// are per-client state. The blob session is opened lazily on first blob use
+// — at million-client scale, a table-only client must not pay for blob
+// access links it never touches. Laziness cannot perturb traces: session
+// streams are forked by label and index, drawing nothing at creation.
 func (c *Cloud) NewClient(vm *fabric.VM, id int) *Client {
 	return &Client{
 		cloud: c,
 		vm:    vm,
-		blob:  c.Blob.NewSession(id),
+		id:    id,
 		rng:   c.rng.ForkN("client", id),
 		stats: metrics.NewOpStats(),
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"azureobs/internal/azure"
 	"azureobs/internal/core/sched"
@@ -130,29 +131,108 @@ func fig1Download(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
 
 	per := &metrics.Summary{}
 	vms := cloud.Controller.ReadyFleet(n, fabric.Worker, fabric.Small)
-	var firstStart, lastEnd float64
+	var lastEnd float64
 	var totalBytes int64
-	for i := 0; i < n; i++ {
-		cl := cloud.NewClient(vms[i], i)
-		cloud.Engine.Spawn(fmt.Sprintf("dl%d", i), func(p *sim.Proc) {
-			start := p.Now()
-			got, err := cl.GetBlob(p, "bench", "shared-1g")
-			if err != nil {
-				panic(err)
-			}
-			elapsed := (p.Now() - start).Seconds()
-			per.Add(float64(got) / 1e6 / elapsed)
-			totalBytes += got
-			if end := p.Now().Seconds(); end > lastEnd {
-				lastEnd = end
-			}
-			_ = firstStart
-		})
+	if cfg.Flat {
+		clients := make([]fig1FlatClient, n)
+		for i := 0; i < n; i++ {
+			fc := &clients[i]
+			fc.init(cloud, vms[i], i, per, &totalBytes, &lastEnd)
+			fc.download("bench", "shared-1g")
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			cl := cloud.NewClient(vms[i], i)
+			cloud.Engine.Spawn(fmt.Sprintf("dl%d", i), func(p *sim.Proc) {
+				start := p.Now()
+				got, err := cl.GetBlob(p, "bench", "shared-1g")
+				if err != nil {
+					panic(err)
+				}
+				elapsed := (p.Now() - start).Seconds()
+				per.Add(float64(got) / 1e6 / elapsed)
+				totalBytes += got
+				if end := p.Now().Seconds(); end > lastEnd {
+					lastEnd = end
+				}
+			})
+		}
 	}
 	base := cloud.Engine.Now().Seconds()
 	cloud.Engine.Run()
-	agg := float64(totalBytes) / 1e6 / (lastEnd - base)
-	return per, agg
+	return per, fig1Agg(totalBytes, lastEnd, base)
+}
+
+// fig1Agg computes a round's aggregate MB/s. A degenerate cell (zero
+// clients, or a round that moved no bytes) spans no virtual time; its
+// aggregate is 0, not the 0/0 NaN the raw division would produce.
+func fig1Agg(totalBytes int64, lastEnd, base float64) float64 {
+	if lastEnd <= base {
+		return 0
+	}
+	return float64(totalBytes) / 1e6 / (lastEnd - base)
+}
+
+// fig1FlatClient is one fig1 client compiled onto the flat-actor path: the
+// same azure request the goroutine client issues, with completion handled by
+// cached continuations instead of a parked process. One struct (in the
+// round's slice) plus three cached closures is the entire per-client cost.
+type fig1FlatClient struct {
+	a     sim.Actor
+	cl    *azure.Client
+	start time.Duration
+
+	upload          bool
+	size            int64 // upload payload; downloads learn size at completion
+	container, name string
+
+	per     *metrics.Summary
+	total   *int64
+	lastEnd *float64
+
+	onRun  func()
+	onDone func(int64, error)
+}
+
+func (fc *fig1FlatClient) init(cloud *azure.Cloud, vm *fabric.VM, id int, per *metrics.Summary, total *int64, lastEnd *float64) {
+	fc.a.Bind(cloud.Engine, "fig1-flat")
+	fc.cl = cloud.NewClient(vm, id)
+	fc.per, fc.total, fc.lastEnd = per, total, lastEnd
+	fc.onRun = fc.run
+	fc.onDone = fc.finish
+}
+
+func (fc *fig1FlatClient) download(container, name string) {
+	fc.container, fc.name = container, name
+	fc.a.Go(fc.onRun)
+}
+
+func (fc *fig1FlatClient) uploadBlob(container, name string, size int64) {
+	fc.container, fc.name = container, name
+	fc.upload, fc.size = true, size
+	fc.a.Go(fc.onRun)
+}
+
+func (fc *fig1FlatClient) run() {
+	fc.start = fc.a.Now()
+	if fc.upload {
+		fc.cl.PutBlobFlat(&fc.a, fc.container, fc.name, fc.size, true, fc.onDone)
+	} else {
+		fc.cl.GetBlobFlat(&fc.a, fc.container, fc.name, fc.onDone)
+	}
+}
+
+func (fc *fig1FlatClient) finish(size int64, err error) {
+	if err != nil {
+		panic(err)
+	}
+	elapsed := (fc.a.Now() - fc.start).Seconds()
+	fc.per.Add(float64(size) / 1e6 / elapsed)
+	*fc.total += size
+	if end := fc.a.Now().Seconds(); end > *fc.lastEnd {
+		*fc.lastEnd = end
+	}
+	fc.a.Finish()
 }
 
 // fig1Upload runs one upload round: n clients push distinct blobs into one
@@ -165,26 +245,34 @@ func fig1Upload(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
 	vms := cloud.Controller.ReadyFleet(n, fabric.Worker, fabric.Small)
 	var lastEnd float64
 	var totalBytes int64
-	for i := 0; i < n; i++ {
-		i := i
-		cl := cloud.NewClient(vms[i], i)
-		cloud.Engine.Spawn(fmt.Sprintf("ul%d", i), func(p *sim.Proc) {
-			start := p.Now()
-			if err := cl.PutBlob(p, "bench", fmt.Sprintf("upload-%d", i), size, true); err != nil {
-				panic(err)
-			}
-			elapsed := (p.Now() - start).Seconds()
-			per.Add(float64(size) / 1e6 / elapsed)
-			totalBytes += size
-			if end := p.Now().Seconds(); end > lastEnd {
-				lastEnd = end
-			}
-		})
+	if cfg.Flat {
+		clients := make([]fig1FlatClient, n)
+		for i := 0; i < n; i++ {
+			fc := &clients[i]
+			fc.init(cloud, vms[i], i, per, &totalBytes, &lastEnd)
+			fc.uploadBlob("bench", fmt.Sprintf("upload-%d", i), size)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			i := i
+			cl := cloud.NewClient(vms[i], i)
+			cloud.Engine.Spawn(fmt.Sprintf("ul%d", i), func(p *sim.Proc) {
+				start := p.Now()
+				if err := cl.PutBlob(p, "bench", fmt.Sprintf("upload-%d", i), size, true); err != nil {
+					panic(err)
+				}
+				elapsed := (p.Now() - start).Seconds()
+				per.Add(float64(size) / 1e6 / elapsed)
+				totalBytes += size
+				if end := p.Now().Seconds(); end > lastEnd {
+					lastEnd = end
+				}
+			})
+		}
 	}
 	base := cloud.Engine.Now().Seconds()
 	cloud.Engine.Run()
-	agg := float64(totalBytes) / 1e6 / (lastEnd - base)
-	return per, agg
+	return per, fig1Agg(totalBytes, lastEnd, base)
 }
 
 func fig1Cloud(cfg Fig1Config, salt int) *azure.Cloud {

@@ -46,6 +46,12 @@ type Proto struct {
 
 	Scale Scale // which protocol variant a registry Run expands to
 	Size  int   // payload-size override in bytes (blob/entity/message); 0 = scale default
+
+	// Flat runs each client as a kernel-driven flat actor instead of a
+	// goroutine process, where the experiment supports it (fig1). Traces are
+	// bit-identical either way; flat mode exists for client counts where a
+	// goroutine per client is too expensive.
+	Flat bool
 }
 
 // Defaults returns the Proto block the paper-scale protocols start from:
@@ -72,5 +78,6 @@ func (p Proto) Apply(base Proto) Proto {
 	}
 	base.Scale = p.Scale
 	base.Size = p.Size
+	base.Flat = p.Flat
 	return base
 }

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// cancellation is the classic compensated-summation torture case: the small
+// term is annihilated by the large pair under naive (and plain-Kahan)
+// accumulation, so the naive mean is 0 while the true mean is 1/3.
+var cancellation = []float64{1e16, 1, -1e16}
+
+func naiveMean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// TestSampleMeanCompensated is the regression the naive implementation
+// fails: the exact mean of the cancellation sequence is 1/3.
+func TestSampleMeanCompensated(t *testing.T) {
+	if m := naiveMean(cancellation); m == 1.0/3 {
+		t.Fatalf("torture case no longer defeats naive summation (naive mean = %v); pick a harder one", m)
+	}
+	s := NewSample(3)
+	for _, x := range cancellation {
+		s.Add(x)
+	}
+	if m := s.Mean(); m != 1.0/3 {
+		t.Fatalf("Sample.Mean = %v, want exactly %v", m, 1.0/3)
+	}
+}
+
+func TestHistogramMeanCompensated(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	for _, x := range cancellation {
+		h.Add(x)
+	}
+	if m := h.Mean(); m != 1.0/3 {
+		t.Fatalf("Histogram.Mean = %v, want exactly %v", m, 1.0/3)
+	}
+	// The in-range accounting must be untouched by compensation.
+	if h.Under() != 1 || h.Over() != 1 || h.N() != 3 {
+		t.Fatalf("histogram counters off: under=%d over=%d n=%d", h.Under(), h.Over(), h.N())
+	}
+}
+
+func TestTimeSeriesMeanCompensated(t *testing.T) {
+	var ts TimeSeries
+	for i, x := range cancellation {
+		ts.Add(time.Duration(i), x)
+	}
+	if m := ts.Mean(); m != 1.0/3 {
+		t.Fatalf("TimeSeries.Mean = %v, want exactly %v", m, 1.0/3)
+	}
+}
+
+// TestSummaryStdDegenerate pins the scale-exposed stddev contract: a
+// single-observation summary (Runs == 1) and an empty summary both report
+// stddev exactly 0, never NaN or ±Inf, and cancellation-induced negative
+// m2 clamps to zero variance.
+func TestSummaryStdDegenerate(t *testing.T) {
+	var empty Summary
+	if v := empty.Std(); v != 0 {
+		t.Fatalf("empty Summary.Std = %v, want 0", v)
+	}
+	var one Summary
+	one.Add(13.25)
+	if v := one.Std(); v != 0 {
+		t.Fatalf("n=1 Summary.Std = %v, want 0", v)
+	}
+	if v := one.Var(); v != 0 {
+		t.Fatalf("n=1 Summary.Var = %v, want 0", v)
+	}
+
+	// Force the negative-m2 corner directly: rounding in Welford/Merge can
+	// leave m2 a tiny negative value, whose square root would be NaN.
+	neg := Summary{n: 5, mean: 1, m2: -1e-30}
+	if v := neg.Var(); v != 0 {
+		t.Fatalf("negative-m2 Var = %v, want clamp to 0", v)
+	}
+	if v := neg.Std(); v != 0 || math.IsNaN(v) {
+		t.Fatalf("negative-m2 Std = %v, want 0", v)
+	}
+}

@@ -46,12 +46,18 @@ func (s *Summary) N() uint64 { return s.n }
 // Mean returns the sample mean (0 when empty).
 func (s *Summary) Mean() float64 { return s.mean }
 
-// Var returns the unbiased sample variance (0 for n < 2).
+// Var returns the unbiased sample variance (0 for n < 2). Cancellation in
+// Welford updates or Merge can leave m2 a tiny negative number; that would
+// surface as a NaN standard deviation, so it clamps to 0.
 func (s *Summary) Var() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	return s.m2 / float64(s.n-1)
+	v := s.m2 / float64(s.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Std returns the sample standard deviation.
@@ -95,6 +101,33 @@ func (s *Summary) Merge(other *Summary) {
 
 func (s *Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g", s.n, s.Mean(), s.Std(), s.min, s.max)
+}
+
+// neumaierAdd folds x into a compensated running sum (Neumaier's variant of
+// Kahan summation: unlike plain Kahan it stays exact when the new term is
+// larger than the running sum). The true total is sum + comp.
+//
+// Million-client cells push counts where naive accumulation loses real
+// precision: summing 1e6 latencies spanning six orders of magnitude drifts
+// the mean by measurable ulps, and pathological orders ([1e16, 1, -1e16])
+// lose the small term entirely.
+func neumaierAdd(sum, comp, x float64) (float64, float64) {
+	t := sum + x
+	if math.Abs(sum) >= math.Abs(x) {
+		comp += (sum - t) + x
+	} else {
+		comp += (x - t) + sum
+	}
+	return t, comp
+}
+
+// compensatedSum returns the Neumaier-compensated total of xs.
+func compensatedSum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		sum, comp = neumaierAdd(sum, comp, x)
+	}
+	return sum + comp
 }
 
 // Sample stores every observation for exact quantiles and CDF export. For
@@ -163,16 +196,12 @@ func (s *Sample) Quantile(q float64) float64 {
 // Median returns the 0.5 quantile.
 func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 
-// Mean returns the sample mean.
+// Mean returns the sample mean, accumulated with compensated summation.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	var sum float64
-	for _, x := range s.xs {
-		sum += x
-	}
-	return sum / float64(len(s.xs))
+	return compensatedSum(s.xs) / float64(len(s.xs))
 }
 
 // FracLE returns the fraction of observations ≤ x.
@@ -212,6 +241,7 @@ type Histogram struct {
 	over   uint64
 	n      uint64
 	sum    float64
+	comp   float64 // Neumaier compensation for sum
 }
 
 // NewHistogram creates a histogram with the given bin count over [lo, hi).
@@ -225,7 +255,7 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.n++
-	h.sum += x
+	h.sum, h.comp = neumaierAdd(h.sum, h.comp, x)
 	switch {
 	case x < h.Lo:
 		h.under++
@@ -248,7 +278,7 @@ func (h *Histogram) Mean() float64 {
 	if h.n == 0 {
 		return math.NaN()
 	}
-	return h.sum / float64(h.n)
+	return (h.sum + h.comp) / float64(h.n)
 }
 
 // Bin returns the count in bin i.
@@ -314,16 +344,13 @@ func (ts *TimeSeries) Max() float64 {
 	return m
 }
 
-// Mean returns the mean value (NaN when empty).
+// Mean returns the mean value (NaN when empty), accumulated with
+// compensated summation.
 func (ts *TimeSeries) Mean() float64 {
 	if len(ts.Values) == 0 {
 		return math.NaN()
 	}
-	var s float64
-	for _, v := range ts.Values {
-		s += v
-	}
-	return s / float64(len(ts.Values))
+	return compensatedSum(ts.Values) / float64(len(ts.Values))
 }
 
 // CounterSet is a named tally, used for the ModisAzure failure taxonomy

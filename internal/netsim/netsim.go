@@ -195,6 +195,20 @@ func (f *Fabric) Transfer(p *sim.Proc, size int64, path ...*Link) time.Duration 
 	return p.Now() - start
 }
 
+// TransferFlat is the flat-actor form of Transfer: it injects the flow and
+// arms then to run at the instant the last byte arrives, without parking a
+// goroutine. A zero-size transfer completes synchronously (then runs before
+// TransferFlat returns), mirroring Transfer's immediate return. Flat actors
+// have no Kill, so there is no implicit abandon path — then always runs.
+func (f *Fabric) TransferFlat(a *sim.Actor, size int64, then func(), path ...*Link) {
+	if size <= 0 {
+		then()
+		return
+	}
+	fl := f.StartFlow(size, path...)
+	fl.done.WaitFlat(a, then)
+}
+
 // StartFlow injects a flow without blocking. The returned flow's done signal
 // fires on completion. Most callers want Transfer; StartFlow exists for
 // event-driven users and tests.

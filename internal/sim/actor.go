@@ -1,0 +1,150 @@
+package sim
+
+import "time"
+
+// Actor is the flat counterpart of a process: a client-scale activity
+// compiled into a continuation-passing state machine that the kernel drives
+// directly, with no goroutine, no handoff channels and no Proc descriptor.
+// Where a Proc blocks (Sleep, Signal.Wait), an Actor instead *arms* a
+// continuation — a cached step function run by the next wake event — and
+// returns to the kernel. The entire per-actor cost is this struct plus one
+// cached trampoline closure; a million parked actors cost megabytes, not the
+// gigabytes of stacks a million parked goroutines would.
+//
+// Equivalence with the process API is exact by construction: every point
+// where a process schedules a kernel event (the spawn start event, a sleep's
+// wake, a signal fire's wake) the actor schedules exactly one event through
+// the same engine-owned reclaim path, consuming the same sequence number the
+// process path would. A driver ported from Spawn to Go/Sleep/WaitFlat
+// therefore produces a bit-identical trace. See DESIGN.md §11 for when to
+// use which API.
+//
+// Discipline: every step must either arm a continuation (Sleep, a WaitFlat
+// registration, or a nested flat call that does so) or call Finish before
+// returning; a step that does neither has silently leaked the actor, and the
+// trampoline panics. Actors have no Kill — activities needing cancellation
+// or structured teardown stay on the process API.
+type Actor struct {
+	eng    *Engine
+	name   string
+	daemon bool
+	live   bool // started (Go) and not yet finished
+	armed  bool // a continuation is registered for the next wake
+	next   func()
+	wake   *Event // pending wake event, nil while externally parked
+	onWake func() // cached trampoline; the only closure an actor allocates
+
+	// waiter is the actor's embedded signal waiter, reused across WaitFlat
+	// registrations so parking on a signal allocates nothing. One signal
+	// wait may be outstanding at a time.
+	waiter sigWaiter
+}
+
+// Bind attaches the actor to an engine and allocates its trampoline. It must
+// be called once, before Go. name labels kernel panics.
+func (a *Actor) Bind(e *Engine, name string) {
+	if a.eng != nil {
+		panic("sim: Actor bound twice")
+	}
+	a.eng = e
+	a.name = name
+	a.onWake = a.step
+}
+
+// Engine returns the engine the actor is bound to.
+func (a *Actor) Engine() *Engine { return a.eng }
+
+// Now returns the engine's current virtual time.
+func (a *Actor) Now() time.Duration { return a.eng.now }
+
+// Name returns the label given to Bind.
+func (a *Actor) Name() string { return a.name }
+
+// Live reports whether the actor has started and not yet finished.
+func (a *Actor) Live() bool { return a.live }
+
+// Go starts the actor: first runs at the current virtual time, scheduled
+// exactly as a process spawn's start event would be. The actor counts as
+// foreground work until Finish.
+func (a *Actor) Go(first func()) { a.GoAt(a.eng.now, first) }
+
+// GoAt starts the actor at absolute virtual time at.
+func (a *Actor) GoAt(at time.Duration, first func()) {
+	if a.eng == nil {
+		panic("sim: Actor not bound")
+	}
+	if a.live {
+		panic("sim: Actor " + a.name + " started twice")
+	}
+	a.live = true
+	if !a.daemon {
+		a.eng.flats++
+	}
+	a.armEvent(at, first)
+}
+
+// Sleep arms then to run d from now — the actor-side mirror of Proc.Sleep,
+// scheduling one wake event through the same engine-owned path.
+func (a *Actor) Sleep(d time.Duration, then func()) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	a.armEvent(a.eng.now+d, then)
+}
+
+// Finish ends the actor. It may start again with Go (the trampoline and
+// engine binding are retained).
+func (a *Actor) Finish() {
+	if !a.live {
+		panic("sim: Finish of an actor that is not live")
+	}
+	a.live = false
+	if !a.daemon {
+		a.eng.flats--
+	}
+}
+
+// armEvent registers then and schedules the wake that runs it.
+func (a *Actor) armEvent(at time.Duration, then func()) {
+	a.arm(then)
+	a.wake = a.eng.scheduleOwned(at, a.onWake, a.daemon, true)
+}
+
+// arm registers then as the continuation without scheduling anything; the
+// wake comes from outside (a signal fire, a completing flow). Kernel
+// primitives call this; drivers use Sleep / WaitFlat.
+func (a *Actor) arm(then func()) {
+	if a.armed {
+		panic("sim: actor " + a.name + " armed twice")
+	}
+	if then == nil {
+		panic("sim: actor " + a.name + " armed with nil continuation")
+	}
+	a.armed = true
+	a.next = then
+}
+
+// wakeNow schedules the externally armed continuation to run at the current
+// instant — the actor-side mirror of Proc.wakeNow, used by Signal.Fire.
+func (a *Actor) wakeNow() {
+	if a.wake != nil {
+		panic("sim: double wake of actor " + a.name)
+	}
+	if !a.armed {
+		panic("sim: wake of actor " + a.name + " with no continuation armed")
+	}
+	a.wake = a.eng.scheduleOwned(a.eng.now, a.onWake, a.daemon, true)
+}
+
+// step is the trampoline every wake event runs: consume the armed
+// continuation, execute it, and enforce the arm-or-finish discipline.
+func (a *Actor) step() {
+	a.wake = nil
+	a.armed = false
+	fn := a.next
+	a.next = nil
+	fn()
+	if a.live && !a.armed {
+		panic("sim: actor " + a.name + " step returned without arming a continuation or calling Finish")
+	}
+}

@@ -99,6 +99,9 @@ func (e *Engine) heapPush(ev *Event) {
 	h[i] = nv
 	ev.index = i
 	e.events = h
+	if len(h) > e.eventsHigh {
+		e.eventsHigh = len(h)
+	}
 }
 
 // heapPop removes and returns the earliest event.
@@ -169,11 +172,29 @@ func (e *Engine) heapSiftUp(i int) {
 	nv.ev.index = i
 }
 
-// maxEventPool caps the event free list. A churn spike (say, a 192-flow
-// reallocation storm) briefly retires hundreds of events; without a cap the
-// free list keeps that peak pinned for the rest of the run. Beyond the
-// high-water mark, recycled events are dropped for the GC instead.
-const maxEventPool = 4096
+// The event free list is capped adaptively: at least minEventPool (absorbing
+// ordinary churn spikes such as a 192-flow reallocation storm), growing with
+// the calendar's own high-water mark so a cell whose steady state keeps, say,
+// 1M wake events in flight can retire and re-schedule them all through the
+// pool instead of thrashing alloc/free at a fixed 4096. maxEventPoolCap
+// bounds the pool so a one-off spike can still be released to the GC rather
+// than pinned forever.
+const (
+	minEventPool    = 4096
+	maxEventPoolCap = 1 << 21
+)
+
+// poolCap returns the free list's current capacity limit.
+func (e *Engine) poolCap() int {
+	c := e.eventsHigh
+	if c < minEventPool {
+		c = minEventPool
+	}
+	if c > maxEventPoolCap {
+		c = maxEventPoolCap
+	}
+	return c
+}
 
 // Engine is a discrete-event simulation kernel. The zero value is not ready
 // for use; construct one with NewEngine.
@@ -187,6 +208,12 @@ type Engine struct {
 	// procs counts live (spawned, not yet finished) non-daemon processes,
 	// for leak detection in Drained.
 	procs int
+
+	// flats counts live (started, not yet finished) non-daemon flat actors.
+	// Like procs, a live flat actor is foreground work: it may be parked on a
+	// signal with no event of its own pending, waiting for someone else's
+	// event to fire it.
+	flats int
 
 	// foreground counts pending non-daemon, non-canceled events; Run stops
 	// when it reaches zero. Cancel decrements it immediately even though the
@@ -208,8 +235,12 @@ type Engine struct {
 	// pool holds recycled Event structs for reuse by the scheduling methods.
 	// High-churn subsystems (netsim reschedules every active flow's
 	// completion on each rate change) return events here via Recycle instead
-	// of leaving one garbage Event per churn event. Capped at maxEventPool.
+	// of leaving one garbage Event per churn event. Capped at poolCap().
 	pool []*Event
+
+	// eventsHigh is the calendar's high-water mark (pending entries,
+	// including corpses awaiting lazy deletion); it sizes the free list.
+	eventsHigh int
 
 	// idle holds parked workers: goroutines (with their handoff channel
 	// pairs) whose process finished and which the next Spawn reuses instead
@@ -264,6 +295,10 @@ func (e *Engine) Pending() int { return len(e.events) }
 
 // LiveProcs returns the number of spawned processes that have not finished.
 func (e *Engine) LiveProcs() int { return e.procs }
+
+// LiveActors returns the number of started flat actors that have not
+// finished.
+func (e *Engine) LiveActors() int { return e.flats }
 
 // FreeEvents returns the number of events currently parked in the free list.
 func (e *Engine) FreeEvents() int { return len(e.pool) }
@@ -549,7 +584,7 @@ func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.pfn = nil
 	ev.proc = nil
-	if len(e.pool) < maxEventPool {
+	if len(e.pool) < e.poolCap() {
 		e.pool = append(e.pool, ev)
 	}
 }
@@ -607,7 +642,7 @@ func (e *Engine) Run() {
 		e.releaseIdleWorkers()
 	}()
 	for !e.stopped {
-		if e.foreground == 0 && e.procs == 0 {
+		if e.foreground == 0 && e.procs == 0 && e.flats == 0 {
 			break
 		}
 		if !e.Step() {
@@ -658,9 +693,9 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Drained reports whether the simulation has fully quiesced: no pending
-// foreground events and no live non-daemon processes. A false result after
-// Run() usually means a process leaked — it is blocked on a primitive
-// nobody will ever signal.
+// foreground events, no live non-daemon processes and no live flat actors. A
+// false result after Run() usually means a process or actor leaked — it is
+// blocked on a primitive nobody will ever signal.
 func (e *Engine) Drained() bool {
-	return e.foreground == 0 && e.procs == 0
+	return e.foreground == 0 && e.procs == 0 && e.flats == 0
 }

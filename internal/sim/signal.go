@@ -10,10 +10,25 @@ type Signal struct {
 	fires   uint64
 }
 
+// sigWaiter parks either a process or a flat actor; exactly one of p and a
+// is set. Actor waiters are embedded in the Actor and reused, so flat waits
+// allocate nothing.
 type sigWaiter struct {
 	p        *Proc
+	a        *Actor
 	released bool
 	timedOut bool
+}
+
+// wake releases the parked party at the current instant; both sides schedule
+// exactly one engine-owned wake event, so mixed proc/actor waiter lists fire
+// in arrival order with identical traces.
+func (w *sigWaiter) wake() {
+	if w.p != nil {
+		w.p.wakeNow()
+	} else {
+		w.a.wakeNow()
+	}
 }
 
 // Fires returns how many times the signal has fired.
@@ -63,7 +78,7 @@ func (s *Signal) Fire() {
 			continue
 		}
 		w.released = true
-		w.p.wakeNow()
+		w.wake()
 	}
 }
 
@@ -78,10 +93,21 @@ func (s *Signal) FireOne() bool {
 		}
 		s.fires++
 		w.released = true
-		w.p.wakeNow()
+		w.wake()
 		return true
 	}
 	return false
+}
+
+// WaitFlat parks a flat actor on the signal: the next Fire runs then at the
+// fire instant, exactly when a parked process's wake would run. The actor's
+// embedded waiter is reused, so the wait allocates nothing — which also
+// means an actor can wait on at most one signal at a time. There is no flat
+// timeout wait; actors needing one stay on the process API.
+func (s *Signal) WaitFlat(a *Actor, then func()) {
+	a.arm(then)
+	a.waiter = sigWaiter{a: a}
+	s.waiters = append(s.waiters, &a.waiter)
 }
 
 func (s *Signal) remove(w *sigWaiter) {

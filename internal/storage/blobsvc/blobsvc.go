@@ -212,6 +212,10 @@ type Session struct {
 	pl   *reqpath.Pipeline
 	down *netsim.Link
 	up   *netsim.Link
+
+	// flat is the session's flat request state, created on first GetFlat /
+	// PutFlat and reused for every later flat request on this session.
+	flat *flatReq
 }
 
 // NewSession opens a client session. The id decorrelates the session's

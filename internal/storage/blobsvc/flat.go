@@ -1,0 +1,132 @@
+package blobsvc
+
+import (
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/reqpath"
+	"azureobs/internal/storage/storerr"
+)
+
+// flatReq is a session's flat request state: the blob Get/Put bodies
+// compiled into continuations driven by the caller's actor. One request may
+// be in flight per session at a time — exactly the closed-loop shape the
+// paper's clients have — so the struct and its two cached continuations are
+// allocated once and reused for every request the session ever issues.
+//
+// Stage order replicates Get/Put through the goroutine pipeline verbatim:
+// admission (outage → conn-fail → request-latency sleep → server-busy),
+// lookup, read-fault, fabric transfer, integrity/commit, hook delivery, then
+// the caller's done callback at the instant Get/Put would have returned.
+type flatReq struct {
+	sess *Session
+	a    *sim.Actor
+	c    reqpath.FlatCtx
+
+	get             bool
+	container, name string
+	size            int64
+	overwrite       bool
+	b               *Blob
+	done            func(size int64, err error)
+
+	afterAdmit func() // cached: runs after the request-latency sleep
+	afterXfer  func() // cached: runs when the fabric transfer completes
+}
+
+func (sess *Session) flatReq() *flatReq {
+	if sess.flat == nil {
+		r := &flatReq{sess: sess}
+		r.afterAdmit = r.admitted
+		r.afterXfer = r.transferred
+		sess.flat = r
+	}
+	return sess.flat
+}
+
+// GetFlat is the flat-actor form of Get: a's continuations drive the request
+// and done receives the blob size (0 on error) at the instant Get would have
+// returned. One flat request may be in flight per session.
+func (sess *Session) GetFlat(a *sim.Actor, container, name string, done func(size int64, err error)) {
+	sess.flatReq().begin(a, "blob.Get", true, container, name, 0, false, done)
+}
+
+// PutFlat is the flat-actor form of Put; done receives the upload size and
+// the request's outcome.
+func (sess *Session) PutFlat(a *sim.Actor, container, name string, size int64, overwrite bool, done func(size int64, err error)) {
+	sess.flatReq().begin(a, "blob.Put", false, container, name, size, overwrite, done)
+}
+
+func (r *flatReq) begin(a *sim.Actor, op string, get bool, container, name string, size int64, overwrite bool, done func(int64, error)) {
+	if r.a != nil {
+		panic("blobsvc: session already has a flat request in flight")
+	}
+	r.a, r.get = a, get
+	r.container, r.name, r.size, r.overwrite, r.done = container, name, size, overwrite, done
+	r.c.Begin(r.sess.pl, op, a.Now())
+	sleep, hasSleep, err := r.c.AdmitPre()
+	if err != nil {
+		r.finish(err)
+		return
+	}
+	if hasSleep {
+		a.Sleep(sleep, r.afterAdmit)
+		return
+	}
+	r.admitted()
+}
+
+func (r *flatReq) admitted() {
+	if err := r.c.AdmitPost(); err != nil {
+		r.finish(err)
+		return
+	}
+	sess, svc := r.sess, r.sess.svc
+	if r.get {
+		b, ok := svc.containers[r.container][r.name]
+		if !ok {
+			r.finish(r.c.Failf(storerr.CodeNotFound, "%s/%s", r.container, r.name))
+			return
+		}
+		r.b, r.size = b, b.Size
+		if err := r.c.ReadFault(); err != nil {
+			r.finish(err)
+			return
+		}
+		svc.net.TransferFlat(r.a, b.Size, r.afterXfer, b.egress, sess.down)
+		return
+	}
+	cont, ok := svc.containers[r.container]
+	if !ok {
+		r.finish(r.c.Failf(storerr.CodeNotFound, "container %s", r.container))
+		return
+	}
+	if _, exists := cont[r.name]; exists && !r.overwrite {
+		r.finish(r.c.Failf(storerr.CodeBlobExists, "%s/%s", r.container, r.name))
+		return
+	}
+	svc.net.TransferFlat(r.a, r.size, r.afterXfer, sess.up, svc.ingress)
+}
+
+func (r *flatReq) transferred() {
+	svc := r.sess.svc
+	if r.get {
+		svc.downloads++
+		r.finish(r.c.CorruptRead("%s/%s checksum mismatch", r.b.Container, r.b.Name))
+		return
+	}
+	svc.containers[r.container][r.name] = svc.newBlob(r.container, r.name, r.size, r.a.Now())
+	svc.uploads++
+	r.finish(nil)
+}
+
+func (r *flatReq) finish(err error) {
+	size := r.size
+	if r.get && err != nil {
+		size = 0
+	}
+	done := r.done
+	r.c.Finish(r.a.Now(), err)
+	// Clear the in-flight state before the callback so the continuation can
+	// issue the session's next request immediately.
+	r.a, r.done, r.b = nil, nil, nil
+	done(size, err)
+}

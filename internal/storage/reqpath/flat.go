@@ -1,0 +1,115 @@
+package reqpath
+
+import (
+	"time"
+
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/storerr"
+)
+
+// FlatCtx is the flat-actor counterpart of Ctx: one in-flight request whose
+// stages run as caller continuations instead of blocking a process. Services
+// embed one in their per-session (or per-client) flat request state, so a
+// steady-state request allocates nothing.
+//
+// Stage order and random-stream usage mirror Do/admit exactly — the same
+// draws from the same streams in the same order — which is what makes a flat
+// request trace-identical to its goroutine twin. The split is:
+//
+//	Begin → AdmitPre → [sleep the returned latency] → AdmitPost →
+//	service body stages (Failf / ReadFault / CorruptRead / transfers) →
+//	Finish
+//
+// where the caller owns the sleep (via its Actor) and the transfer (via
+// netsim.TransferFlat).
+type FlatCtx struct {
+	pl    *Pipeline
+	Op    string
+	start time.Duration
+}
+
+// Begin arms the context for one request starting at virtual time now.
+func (c *FlatCtx) Begin(pl *Pipeline, op string, now time.Duration) {
+	c.pl, c.Op, c.start = pl, op, now
+}
+
+// AdmitPre is the admission half before the request-latency sleep: the
+// outage gate, the conn-fail stage, then the latency draw. On success it
+// returns the admission latency the caller must sleep before AdmitPost;
+// hasSleep is false when the pipeline has no latency stage (the caller must
+// then proceed to AdmitPost without scheduling a wake, as admit would).
+func (c *FlatCtx) AdmitPre() (sleep time.Duration, hasSleep bool, err error) {
+	pl := c.pl
+	switch pl.hs.outage {
+	case OutageBlackout:
+		return 0, false, c.fail(FaultConn, "service blackout")
+	case OutageBrownout:
+		if pl.outage.Hit(BrownoutBusyProb) {
+			return 0, false, c.fail(FaultBusy, "service brownout")
+		}
+	}
+	if hit(pl.conn, pl.cfg.Faults.ConnFailProb) {
+		return 0, false, c.fail(FaultConn, "connection reset")
+	}
+	if pl.cfg.Latency != nil {
+		return simrand.Duration(pl.cfg.Latency, pl.latency), true, nil
+	}
+	return 0, false, nil
+}
+
+// AdmitPost is the admission half after the request-latency sleep: the
+// server-busy stage.
+func (c *FlatCtx) AdmitPost() error {
+	if hit(c.pl.busy, c.pl.cfg.Faults.ServerBusyProb) {
+		return c.fail(FaultBusy, "throttled")
+	}
+	return nil
+}
+
+// fail issues the ReplyStage mapping for an injected fault.
+func (c *FlatCtx) fail(f Fault, msg string) error {
+	return storerr.New(f.Code(), c.Op, msg)
+}
+
+// Failf builds a service-semantic error (not-found, conflict, ...) carrying
+// the request's op.
+func (c *FlatCtx) Failf(code storerr.Code, format string, args ...any) error {
+	return storerr.Newf(code, c.Op, format, args...)
+}
+
+// ReadFault applies the server-side read-failure stage, as Ctx.ReadFault.
+func (c *FlatCtx) ReadFault() error {
+	if hit(c.pl.read, c.pl.cfg.Faults.ReadFailProb) {
+		return c.fail(FaultRead, "read failed server-side")
+	}
+	return nil
+}
+
+// CorruptRead applies the post-download integrity stage, as Ctx.CorruptRead.
+func (c *FlatCtx) CorruptRead(format string, args ...any) error {
+	if hit(c.pl.corrupt, c.pl.cfg.Faults.CorruptReadProb) {
+		return storerr.Newf(FaultCorrupt.Code(), c.Op, format, args...)
+	}
+	return nil
+}
+
+// UploadCost prices a size-byte client→service payload, as Ctx.UploadCost.
+func (c *FlatCtx) UploadCost(size int) time.Duration {
+	return bwCost(size, c.pl.cfg.UploadBW)
+}
+
+// DownloadCost prices a size-byte service→client payload, as
+// Ctx.DownloadCost.
+func (c *FlatCtx) DownloadCost(size int) time.Duration {
+	return bwCost(size, c.pl.cfg.DownloadBW)
+}
+
+// Finish delivers the completed request to the pipeline's hooks; now is the
+// completion instant and err the request's outcome (nil on success). It is
+// the flat counterpart of Do's hook loop and must run exactly once per
+// Begin, before the caller's own completion callback.
+func (c *FlatCtx) Finish(now time.Duration, err error) {
+	for _, h := range c.pl.hs.hooks {
+		h(Event{Service: c.pl.cfg.Service, Op: c.Op, Start: c.start, Latency: now - c.start, Err: err})
+	}
+}

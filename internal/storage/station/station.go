@@ -100,3 +100,22 @@ func (st *Station) Visit(p *sim.Proc, extra time.Duration) time.Duration {
 	st.ops++
 	return d
 }
+
+// BeginVisit starts a flat-mode visit: the caller must sleep the returned
+// service latency (extra included) on its actor, then call EndVisit. The
+// latency is drawn with the visit already counted in the concurrency — the
+// same order Visit uses — so a flat visitor and a goroutine visitor draw
+// identical samples.
+func (st *Station) BeginVisit(extra time.Duration) time.Duration {
+	st.attached++
+	return st.SampleLatency() + extra
+}
+
+// EndVisit completes a flat-mode visit begun with BeginVisit.
+func (st *Station) EndVisit() {
+	if st.attached == 0 {
+		panic("station: EndVisit without BeginVisit")
+	}
+	st.attached--
+	st.ops++
+}

@@ -74,7 +74,18 @@ func Newf(code Code, op, format string, args ...any) *Error {
 }
 
 // CodeOf extracts the storage error code, or "" for nil/foreign errors.
+//
+// The nil and direct *Error cases are handled without errors.As: its target
+// escapes to the heap on every call, and CodeOf runs once per simulated
+// request (the pipeline observability hooks), where a million-client cell
+// turns that into the dominant steady-state allocation.
 func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	if se, ok := err.(*Error); ok {
+		return se.Code
+	}
 	var se *Error
 	if errors.As(err, &se) {
 		return se.Code
@@ -87,6 +98,12 @@ func IsCode(err error, code Code) bool { return CodeOf(err) == code }
 
 // IsRetryable reports whether err is a retryable storage error.
 func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if se, ok := err.(*Error); ok {
+		return se.Retryable()
+	}
 	var se *Error
 	if errors.As(err, &se) {
 		return se.Retryable()

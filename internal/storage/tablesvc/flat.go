@@ -1,0 +1,104 @@
+package tablesvc
+
+import (
+	"azureobs/internal/sim"
+	"azureobs/internal/storage/reqpath"
+	"azureobs/internal/storage/storerr"
+)
+
+// FlatGet is caller-owned flat-mode state for table Get requests: the Get
+// body compiled into continuations on the caller's actor. Unlike blob
+// sessions, the table service runs every client through one service-level
+// pipeline, so the in-flight state cannot live on the service — each flat
+// client owns a FlatGet (one outstanding request at a time) and reuses it
+// for every query it ever issues; steady-state requests allocate nothing.
+//
+// Stage order replicates Get verbatim: admission (outage → conn-fail →
+// server-busy; the table pipeline has no request-latency stage, so no wake
+// is scheduled there), partition lookup, the query-station visit with the
+// response's download cost added, the not-found reply, hook delivery, then
+// done at the instant Get would have returned.
+type FlatGet struct {
+	svc *Service
+	a   *sim.Actor
+	c   reqpath.FlatCtx
+
+	table, pk, rk string
+	ent           *Entity
+	done          func(*Entity, error)
+
+	afterVisit func() // cached: runs when the station visit's sleep ends
+}
+
+// NewFlatGet builds flat Get state against the service; done receives every
+// request's outcome.
+func (s *Service) NewFlatGet(done func(*Entity, error)) *FlatGet {
+	r := &FlatGet{svc: s, done: done}
+	r.afterVisit = r.visited
+	return r
+}
+
+// Init prepares an embedded (zero-value) FlatGet in place — the allocation-
+// free alternative to NewFlatGet for callers that inline the state in a
+// larger per-client struct.
+func (r *FlatGet) Init(s *Service, done func(*Entity, error)) {
+	if r.svc != nil {
+		panic("tablesvc: FlatGet initialised twice")
+	}
+	r.svc = s
+	r.done = done
+	r.afterVisit = r.visited
+}
+
+// Start issues one flat Get on actor a. A second Start before done fires
+// panics — the state holds one request.
+func (r *FlatGet) Start(a *sim.Actor, table, pk, rk string) {
+	if r.a != nil {
+		panic("tablesvc: FlatGet already has a request in flight")
+	}
+	r.a, r.table, r.pk, r.rk = a, table, pk, rk
+	r.c.Begin(r.svc.pl, "table.Query", a.Now())
+	// The table pipeline has no latency stage: AdmitPre never asks for a
+	// sleep, so admission runs straight through, as Do's admit would.
+	if _, _, err := r.c.AdmitPre(); err != nil {
+		r.finish(err)
+		return
+	}
+	if err := r.c.AdmitPost(); err != nil {
+		r.finish(err)
+		return
+	}
+	part := r.svc.partition(table, pk)
+	if part == nil {
+		r.finish(r.c.Failf(storerr.CodeNotFound, "table %s", table))
+		return
+	}
+	e, ok := part[rk]
+	var respSize int
+	if ok {
+		respSize = e.Size()
+	}
+	r.ent = e
+	r.a.Sleep(r.svc.query.BeginVisit(r.c.DownloadCost(respSize)), r.afterVisit)
+}
+
+func (r *FlatGet) visited() {
+	r.svc.query.EndVisit()
+	if r.ent == nil {
+		r.finish(r.c.Failf(storerr.CodeNotFound, "%s/%s", r.pk, r.rk))
+		return
+	}
+	r.finish(nil)
+}
+
+func (r *FlatGet) finish(err error) {
+	ent := r.ent
+	if err != nil {
+		ent = nil
+	}
+	r.c.Finish(r.a.Now(), err)
+	// Clear the in-flight state before the callback so the continuation can
+	// issue the next query immediately.
+	r.a, r.ent = nil, nil
+	r.done(ent, err)
+}
