@@ -2,9 +2,9 @@
 # everything, vets, runs the full test suite under the race detector,
 # smoke-runs every benchmark once so the bench harness can never rot, and
 # gives each fuzz target a short live-fuzz burst beyond its seed corpus.
-.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke validate
+.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke domainbench domainbench-smoke domainbench-gate validate
 
-check: build vet test bench-smoke fuzz-smoke scalebench-smoke
+check: build vet test bench-smoke fuzz-smoke scalebench-smoke domainbench-smoke
 
 build:
 	go build ./...
@@ -59,6 +59,25 @@ scalebench:
 # artifact to /tmp so the checked-in full-scale capture stays untouched.
 scalebench-smoke:
 	go run ./cmd/azbench -run scalebench -quick -benchout /tmp/BENCH_scale_smoke.json
+
+# Domain-sharded kernel ladder (domains 1/2/4/8 over the fig1 cell, fig2
+# sweep, and a 100k-client scale cell) refreshing the checked-in
+# BENCH_domains.json; every rung — including the legacy single-engine rows
+# and the windowed coordinator row — must produce the identical trace hash.
+domainbench:
+	go run ./cmd/azbench -run domainbench
+
+# Reduced ladder (domains 1/2, 10k scale cell) with the same cross-domain
+# trace-equality assertions. Writes its artifact to /tmp so the checked-in
+# full-scale capture stays untouched.
+domainbench-smoke:
+	go run ./cmd/azbench -run domainbench -quick -benchout /tmp/BENCH_domains_smoke.json
+
+# Regression step in the simbench-gate convention: rerun the fig1 cell at
+# domains=1 (min of five) and fail on >10% slowdown — or any trace drift —
+# against the checked-in BENCH_domains.json.
+domainbench-gate:
+	go run ./cmd/azbench -run domainbench -gate BENCH_domains.json
 
 # Anchor self-check at validation scale; -workers 4 exercises the parallel
 # scheduler path against the same tolerances.

@@ -41,10 +41,11 @@ func main() { os.Exit(run(os.Args[1:])) }
 func run(args []string) int {
 	fs := flag.NewFlagSet("azbench", flag.ExitOnError)
 	var (
-		runName = fs.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench|simbench|scalebench")
+		runName = fs.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench|simbench|scalebench|domainbench")
 		seed    = fs.Uint64("seed", 42, "root random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for fast runs")
 		workers = fs.Int("workers", 1, "scheduler width: independent experiment cells run on this many goroutines (1 = serial; results are bit-identical at any width)")
+		domains = fs.Int("domains", 0, "intra-cell domain count: shard each cell's independent simulation units across this many concurrently-executing engines where the experiment supports it (0 = single engine; results are bit-identical at any count, and -domains composes with -workers)")
 		entity  = fs.Int("entity", 4096, "fig2 entity size in bytes (1024|4096|16384|65536)")
 		msg     = fs.Int("msg", 512, "fig3 message size in bytes (512|1024|4096|8192)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -52,7 +53,7 @@ func run(args []string) int {
 		bench   = fs.String("benchout", "", "output path for the netbench/storagebench/schedbench/simbench artifact (default BENCH_<suite>.json)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
-		gate    = fs.String("gate", "", "simbench only: regression-gate mode — rerun kernel churn suites and fail if >10% slower than this BENCH_sim.json")
+		gate    = fs.String("gate", "", "simbench/domainbench: regression-gate mode — rerun the gated suites and fail if >10% slower than this BENCH_sim.json / BENCH_domains.json")
 	)
 	fs.Parse(args)
 	if *cpuProf != "" {
@@ -139,9 +140,18 @@ func run(args []string) int {
 			out = "BENCH_scale.json"
 		}
 		return runScaleBench(*seed, *quick, out)
+	case "domainbench":
+		if *gate != "" {
+			return runDomainGate(*gate)
+		}
+		out := *bench
+		if out == "" {
+			out = "BENCH_domains.json"
+		}
+		return runDomainBench(*seed, *quick, out)
 	}
 
-	proto := core.Proto{Seed: *seed, Workers: *workers}
+	proto := core.Proto{Seed: *seed, Workers: *workers, Domains: *domains}
 	if *quick {
 		proto.Scale = core.QuickScale
 	}

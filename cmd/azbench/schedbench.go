@@ -31,6 +31,7 @@ type schedPoint struct {
 	Workers     int     `json:"workers"`
 	WallMS      float64 `json:"wall_ms"`
 	BusyMS      float64 `json:"busy_ms"`
+	MaxCellMS   float64 `json:"max_cell_ms"`
 	Utilization float64 `json:"utilization"`
 	Speedup     float64 `json:"speedup_vs_serial"`
 	AnchorHash  string  `json:"anchor_hash"`
@@ -124,7 +125,9 @@ func runSchedBench(seed uint64, out string) {
 			"sharded across the pool (as azbench -run all -workers N). speedup is " +
 			"against the serial wall embedded in this report; identical anchor_hash " +
 			"across rows certifies bit-identical results. Wall-clock speedup " +
-			"requires num_cpu > 1; on one CPU the rows only certify determinism.",
+			"requires num_cpu > 1; on one CPU the rows only certify determinism. " +
+			"max_cell_ms is the slowest single cell — the critical-path floor no " +
+			"pool width can beat.",
 		Experiments: core.Names(),
 	}
 	protos := schedSuite(seed)
@@ -143,6 +146,7 @@ func runSchedBench(seed uint64, out string) {
 			Workers:     w,
 			WallMS:      wallMS,
 			BusyMS:      float64(stats.Busy) / 1e6,
+			MaxCellMS:   float64(stats.MaxCell) / 1e6,
 			Utilization: stats.Utilization(w),
 			AnchorHash:  hash,
 		}
@@ -153,8 +157,8 @@ func runSchedBench(seed uint64, out string) {
 			pt.Speedup = rep.SerialWallMS / wallMS
 		}
 		rep.Points = append(rep.Points, pt)
-		fmt.Printf("schedbench: %2d workers: %8.1f ms wall  %.2fx vs serial  util %.2f  anchors %s\n",
-			w, wallMS, pt.Speedup, pt.Utilization, hash)
+		fmt.Printf("schedbench: %2d workers: %8.1f ms wall  %.2fx vs serial  util %.2f  max cell %.1f ms  anchors %s\n",
+			w, wallMS, pt.Speedup, pt.Utilization, pt.MaxCellMS, hash)
 	}
 
 	for _, pt := range rep.Points[1:] {

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"azureobs/internal/core/sched"
+	"azureobs/internal/sim"
+)
+
+// domainBatches executes total independent simulation units across
+// sim.Domains groups of the given width, and returns each unit's result in
+// unit order. It is the bridge between the two parallelism layers: batches
+// of consecutive units form one Domains group each (units u, u+1, …,
+// u+domains-1 on domains 0..domains-1), and the batches themselves shard
+// over the cell scheduler's pool, so -workers and -domains compose without
+// either layer knowing about the other.
+//
+// start builds unit u's world on the engine it is given and returns the
+// unit's finisher, which the caller of domainBatches sees invoked exactly
+// once, after the unit's group run completes, in unit order within the
+// batch. Build-time engine runs (staging a blob, warming a table) are
+// allowed: the group coordinator re-runs a drained member at its advanced
+// clock, exactly as a standalone engine would.
+//
+// Every unit must be self-contained — its own engine, cloud, RNG streams
+// derived from the unit's coordinates alone — which is the same isolation
+// contract sched.Map imposes on cells, pushed one level down. Under it,
+// results are bit-identical at every (workers, domains) combination.
+func domainBatches[T any](pool *sched.Pool, domains, total int, acc *sim.DomainAccum, start func(u int, eng *sim.Engine) func() T) []T {
+	if domains < 1 {
+		domains = 1
+	}
+	batches := (total + domains - 1) / domains
+	chunks := sched.Map(pool, batches, func(b int) []T {
+		lo := b * domains
+		hi := lo + domains
+		if hi > total {
+			hi = total
+		}
+		g := sim.NewDomains(hi - lo)
+		finish := make([]func() T, hi-lo)
+		for u := lo; u < hi; u++ {
+			finish[u-lo] = start(u, g.Domain(u-lo))
+		}
+		g.Run()
+		if acc != nil {
+			acc.Add(g.Stats())
+		}
+		out := make([]T, hi-lo)
+		for i, fn := range finish {
+			out[i] = fn()
+		}
+		return out
+	})
+	out := make([]T, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}

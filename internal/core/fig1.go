@@ -76,15 +76,20 @@ func RunFig1(cfg Fig1Config) *Fig1Result {
 	cfg = cfg.withDefaults()
 	runs := cfg.Runs
 	pool := sched.New(cfg.Workers)
-	cells := sched.Map(pool, len(cfg.Clients)*runs, func(i int) fig1Cell {
-		n, run := cfg.Clients[i/runs], i%runs
-		var c fig1Cell
-		c.down, c.downAgg = fig1Download(cfg, n, run)
-		if !cfg.SkipUpload {
-			c.up, c.upAgg = fig1Upload(cfg, n, run)
-		}
-		return c
-	})
+	var cells []fig1Cell
+	if cfg.Domains > 0 {
+		cells = runFig1Domains(cfg, pool)
+	} else {
+		cells = sched.Map(pool, len(cfg.Clients)*runs, func(i int) fig1Cell {
+			n, run := cfg.Clients[i/runs], i%runs
+			var c fig1Cell
+			c.down, c.downAgg = fig1Download(cfg, n, run)
+			if !cfg.SkipUpload {
+				c.up, c.upAgg = fig1Upload(cfg, n, run)
+			}
+			return c
+		})
+	}
 
 	res := &Fig1Result{}
 	for li, n := range cfg.Clients {
@@ -109,9 +114,34 @@ func RunFig1(cfg Fig1Config) *Fig1Result {
 	return res
 }
 
-// fig1Download runs one download round: n clients fetch the same blob.
-func fig1Download(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
-	cloud := fig1Cloud(cfg, run)
+// fig1Round is one download or upload round mid-flight: the world is built
+// and the clients are in the calendar, but the round's engine has not yet
+// drained. The legacy serial path runs the engine itself; the domain path
+// hands the engine to a sim.Domains group and harvests via finish after the
+// group run. Both paths execute the identical build sequence, which is what
+// keeps their traces byte-identical.
+type fig1Round struct {
+	cloud   *azure.Cloud
+	per     *metrics.Summary
+	total   int64
+	lastEnd float64
+	base    float64
+	flats   []fig1FlatClient
+}
+
+// finish reduces the round's accumulators once its engine has drained.
+func (r *fig1Round) finish() (*metrics.Summary, float64) {
+	return r.per, fig1Agg(r.total, r.lastEnd, r.base)
+}
+
+// fig1DownloadStart builds one download round — n clients fetching the same
+// blob — on eng (nil: a fresh standalone engine). The shared blob is staged
+// untimed with a build-time drain; a domain member engine supports that
+// exactly like a standalone one, and the group run later resumes it at its
+// advanced clock.
+func fig1DownloadStart(cfg Fig1Config, n, run int, eng *sim.Engine) *fig1Round {
+	r := &fig1Round{cloud: fig1CloudOn(eng, cfg, run), per: &metrics.Summary{}}
+	cloud := r.cloud
 	cloud.Blob.CreateContainer("bench")
 	size := cfg.BlobMB * netsim.MB
 
@@ -129,15 +159,12 @@ func fig1Download(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
 		panic("fig1: staging failed")
 	}
 
-	per := &metrics.Summary{}
 	vms := cloud.Controller.ReadyFleet(n, fabric.Worker, fabric.Small)
-	var lastEnd float64
-	var totalBytes int64
 	if cfg.Flat {
-		clients := make([]fig1FlatClient, n)
+		r.flats = make([]fig1FlatClient, n)
 		for i := 0; i < n; i++ {
-			fc := &clients[i]
-			fc.init(cloud, vms[i], i, per, &totalBytes, &lastEnd)
+			fc := &r.flats[i]
+			fc.init(cloud, vms[i], i, r.per, &r.total, &r.lastEnd)
 			fc.download("bench", "shared-1g")
 		}
 	} else {
@@ -150,17 +177,23 @@ func fig1Download(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
 					panic(err)
 				}
 				elapsed := (p.Now() - start).Seconds()
-				per.Add(float64(got) / 1e6 / elapsed)
-				totalBytes += got
-				if end := p.Now().Seconds(); end > lastEnd {
-					lastEnd = end
+				r.per.Add(float64(got) / 1e6 / elapsed)
+				r.total += got
+				if end := p.Now().Seconds(); end > r.lastEnd {
+					r.lastEnd = end
 				}
 			})
 		}
 	}
-	base := cloud.Engine.Now().Seconds()
-	cloud.Engine.Run()
-	return per, fig1Agg(totalBytes, lastEnd, base)
+	r.base = cloud.Engine.Now().Seconds()
+	return r
+}
+
+// fig1Download runs one download round to completion on its own engine.
+func fig1Download(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
+	r := fig1DownloadStart(cfg, n, run, nil)
+	r.cloud.Engine.Run()
+	return r.finish()
 }
 
 // fig1Agg computes a round's aggregate MB/s. A degenerate cell (zero
@@ -235,21 +268,19 @@ func (fc *fig1FlatClient) finish(size int64, err error) {
 	fc.a.Finish()
 }
 
-// fig1Upload runs one upload round: n clients push distinct blobs into one
-// container.
-func fig1Upload(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
-	cloud := fig1Cloud(cfg, run+7919)
+// fig1UploadStart builds one upload round — n clients pushing distinct
+// blobs into one container — on eng (nil: a fresh standalone engine).
+func fig1UploadStart(cfg Fig1Config, n, run int, eng *sim.Engine) *fig1Round {
+	r := &fig1Round{cloud: fig1CloudOn(eng, cfg, run+7919), per: &metrics.Summary{}}
+	cloud := r.cloud
 	cloud.Blob.CreateContainer("bench")
 	size := cfg.BlobMB * netsim.MB
-	per := &metrics.Summary{}
 	vms := cloud.Controller.ReadyFleet(n, fabric.Worker, fabric.Small)
-	var lastEnd float64
-	var totalBytes int64
 	if cfg.Flat {
-		clients := make([]fig1FlatClient, n)
+		r.flats = make([]fig1FlatClient, n)
 		for i := 0; i < n; i++ {
-			fc := &clients[i]
-			fc.init(cloud, vms[i], i, per, &totalBytes, &lastEnd)
+			fc := &r.flats[i]
+			fc.init(cloud, vms[i], i, r.per, &r.total, &r.lastEnd)
 			fc.uploadBlob("bench", fmt.Sprintf("upload-%d", i), size)
 		}
 	} else {
@@ -262,24 +293,79 @@ func fig1Upload(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
 					panic(err)
 				}
 				elapsed := (p.Now() - start).Seconds()
-				per.Add(float64(size) / 1e6 / elapsed)
-				totalBytes += size
-				if end := p.Now().Seconds(); end > lastEnd {
-					lastEnd = end
+				r.per.Add(float64(size) / 1e6 / elapsed)
+				r.total += size
+				if end := p.Now().Seconds(); end > r.lastEnd {
+					r.lastEnd = end
 				}
 			})
 		}
 	}
-	base := cloud.Engine.Now().Seconds()
-	cloud.Engine.Run()
-	return per, fig1Agg(totalBytes, lastEnd, base)
+	r.base = cloud.Engine.Now().Seconds()
+	return r
 }
 
-func fig1Cloud(cfg Fig1Config, salt int) *azure.Cloud {
+// fig1Upload runs one upload round to completion on its own engine.
+func fig1Upload(cfg Fig1Config, n, run int) (*metrics.Summary, float64) {
+	r := fig1UploadStart(cfg, n, run, nil)
+	r.cloud.Engine.Run()
+	return r.finish()
+}
+
+// runFig1Domains is RunFig1's cell computation with intra-cell parallelism:
+// each (level, run, direction) round is one self-contained simulation unit,
+// and units shard across sim.Domains groups of width cfg.Domains (batches of
+// groups in turn shard over the scheduler pool). Unit traces are identical
+// to the serial path's rounds — same cloud seed, same build sequence — so
+// the reassembled cells are bit-identical at every domain count.
+func runFig1Domains(cfg Fig1Config, pool *sched.Pool) []fig1Cell {
+	runs := cfg.Runs
+	dirs := 2
+	if cfg.SkipUpload {
+		dirs = 1
+	}
+	total := len(cfg.Clients) * runs * dirs
+	type roundResult struct {
+		per *metrics.Summary
+		agg float64
+	}
+	units := domainBatches(pool, cfg.Domains, total, cfg.DomainStats,
+		func(u int, eng *sim.Engine) func() roundResult {
+			cell, dir := u/dirs, u%dirs
+			n, run := cfg.Clients[cell/runs], cell%runs
+			var r *fig1Round
+			if dir == 0 {
+				r = fig1DownloadStart(cfg, n, run, eng)
+			} else {
+				r = fig1UploadStart(cfg, n, run, eng)
+			}
+			return func() roundResult {
+				per, agg := r.finish()
+				return roundResult{per, agg}
+			}
+		})
+	cells := make([]fig1Cell, len(cfg.Clients)*runs)
+	for c := range cells {
+		d := units[c*dirs]
+		cells[c].down, cells[c].downAgg = d.per, d.agg
+		if dirs == 2 {
+			up := units[c*dirs+1]
+			cells[c].up, cells[c].upAgg = up.per, up.agg
+		}
+	}
+	return cells
+}
+
+// fig1CloudOn builds a round's cloud on eng, or on a fresh standalone
+// engine when eng is nil (the legacy serial path).
+func fig1CloudOn(eng *sim.Engine, cfg Fig1Config, salt int) *azure.Cloud {
 	ccfg := azure.Config{Seed: cfg.Seed + uint64(salt)*1_000_003}
 	ccfg.Fabric = fabric.DefaultConfig()
 	ccfg.Fabric.Degradation = false
-	return azure.NewCloud(ccfg)
+	if eng == nil {
+		return azure.NewCloud(ccfg)
+	}
+	return azure.NewCloudOn(eng, ccfg)
 }
 
 // Anchors compares the reproduction against the published Fig. 1 numbers.

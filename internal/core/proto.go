@@ -1,5 +1,7 @@
 package core
 
+import "azureobs/internal/sim"
+
 // Scale selects which variant of an experiment's protocol a registry Run
 // uses. The concrete numbers for each scale live with the experiment's
 // ConfigFor function, so cmd/azbench and cmd/azvalidate no longer carry
@@ -52,6 +54,19 @@ type Proto struct {
 	// bit-identical either way; flat mode exists for client counts where a
 	// goroutine per client is too expensive.
 	Flat bool
+
+	// Domains shards each cell's independent simulation units across a
+	// sim.Domains group of this width, where the experiment supports it
+	// (fig1, fig2): units run concurrently inside the deterministic windowed
+	// coordinator instead of serially on one engine. 0 keeps the legacy
+	// single-engine path; traces are bit-identical at every width. Composes
+	// with Workers — cells shard over the pool, units within a cell over
+	// domains.
+	Domains int
+
+	// DomainStats, when non-nil, accumulates coordinator accounting
+	// (rounds, mail, busy/wall) across every Domains group the run creates.
+	DomainStats *sim.DomainAccum
 }
 
 // Defaults returns the Proto block the paper-scale protocols start from:
@@ -79,5 +94,7 @@ func (p Proto) Apply(base Proto) Proto {
 	base.Scale = p.Scale
 	base.Size = p.Size
 	base.Flat = p.Flat
+	base.Domains = p.Domains
+	base.DomainStats = p.DomainStats
 	return base
 }

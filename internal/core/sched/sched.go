@@ -33,9 +33,10 @@ type Pool struct {
 
 // Stats is the pool's wall-clock and utilization accounting.
 type Stats struct {
-	Cells int           // cells executed across all Map calls
-	Busy  time.Duration // summed per-cell execution time
-	Wall  time.Duration // summed Map wall time
+	Cells   int           // cells executed across all Map calls
+	Busy    time.Duration // summed per-cell execution time
+	Wall    time.Duration // summed Map wall time
+	MaxCell time.Duration // slowest single cell seen — the serial floor
 }
 
 // Utilization is the fraction of the pool's worker-seconds spent inside
@@ -73,6 +74,11 @@ func (p *Pool) account(cells int, busy, wall time.Duration) {
 	p.stats.Cells += cells
 	p.stats.Busy += busy
 	p.stats.Wall += wall
+	// Single-cell accounting records the per-cell duration in busy; batch
+	// accounting (cells != 1) carries sums, which must not pollute the max.
+	if cells == 1 && busy > p.stats.MaxCell {
+		p.stats.MaxCell = busy
+	}
 	p.mu.Unlock()
 }
 
@@ -88,12 +94,14 @@ func Map[T any](p *Pool, n int, fn func(int) T) []T {
 	out := make([]T, n)
 	start := time.Now()
 	if p.workers == 1 || n <= 1 {
-		var busy time.Duration
-		defer func() { p.account(n, busy, time.Since(start)) }()
+		// Per-cell accounting (not one batched call) so MaxCell — the
+		// serial floor a wider pool cannot beat — is recorded on this path
+		// too; the wall posts once at the end, panic or not.
+		defer func() { p.account(0, 0, time.Since(start)) }()
 		for i := 0; i < n; i++ {
 			cellStart := time.Now()
 			out[i] = fn(i)
-			busy += time.Since(cellStart)
+			p.account(1, time.Since(cellStart), 0)
 		}
 		return out
 	}

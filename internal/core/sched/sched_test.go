@@ -119,6 +119,31 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
+// TestStatsMaxCell pins the slowest-cell floor on both Map paths: it must
+// reflect the single slowest cell, not any batched sum.
+func TestStatsMaxCell(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		Map(p, 6, func(i int) struct{} {
+			if i == 3 {
+				time.Sleep(20 * time.Millisecond)
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+			return struct{}{}
+		})
+		st := p.Stats()
+		if st.MaxCell < 20*time.Millisecond {
+			t.Fatalf("workers=%d: MaxCell = %v, want ≥ 20ms", workers, st.MaxCell)
+		}
+		// Six cells totalling ≥ 25ms of busy: a MaxCell near Busy would mean
+		// a batched sum leaked into the per-cell maximum.
+		if st.MaxCell >= st.Busy {
+			t.Fatalf("workers=%d: MaxCell %v not below Busy %v", workers, st.MaxCell, st.Busy)
+		}
+	}
+}
+
 // TestMapDeterministicAcrossWidths is the pool-level statement of the
 // bit-identity contract: independent cells produce the same result slice
 // at any width.

@@ -460,6 +460,57 @@ func (f *Fabric) union(a, b int) {
 	}
 }
 
+// stampComponents rebuilds the union-find over the current flow set — the
+// same pass-1 stamping solve performs — so component queries can run between
+// solves. Burning an epoch here is safe: every solve pass restamps all the
+// scratch it reads, so an extra epoch bump just looks like one more solve.
+func (f *Fabric) stampComponents() {
+	f.epoch++
+	f.ufParent = f.ufParent[:0]
+	for _, fl := range f.flows {
+		first := fl.path[0]
+		for _, l := range fl.path {
+			if l.epoch != f.epoch {
+				l.epoch = f.epoch
+				l.unfix = 0
+				l.comp = len(f.ufParent)
+				f.ufParent = append(f.ufParent, l.comp)
+			}
+			if l != first {
+				f.union(first.comp, l.comp)
+			}
+		}
+	}
+}
+
+// Components returns the number of connected components in the active flow
+// graph: flows are connected when their paths share a link. This is the
+// kernel-sharding partition oracle — flows in different components can never
+// influence each other's rates (a solve touches exactly one component), so a
+// workload whose flow graph stays partitioned into k components is safe to
+// split across up to k simulation domains, one fabric per domain, with no
+// cross-domain mail. Links no flow currently crosses count toward no
+// component.
+func (f *Fabric) Components() int {
+	f.stampComponents()
+	n := 0
+	for i := range f.ufParent {
+		if f.find(i) == i {
+			n++
+		}
+	}
+	return n
+}
+
+// SameComponent reports whether two active flows share a connected component
+// — whether any chain of overlapping paths couples their rate allocations.
+// Flows in different components are independent: domain-sharding them apart
+// cannot change either one's trace.
+func (f *Fabric) SameComponent(a, b *Flow) bool {
+	f.stampComponents()
+	return f.find(a.path[0].comp) == f.find(b.path[0].comp)
+}
+
 // reschedule brings each flow's completion event in line with its current
 // remaining bytes and rate. An event is re-created only when the predicted
 // completion time actually moved; an unchanged prediction keeps the

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// interior reports whether ev currently occupies an internal heap slot, so
+// canceling it must take the lazy corpse path (leaf cancels detach eagerly
+// and never touch the dead counter).
+func interior(e *Engine, ev *Event) bool {
+	return ev.index >= 0 && ev.index<<2+1 <= len(e.events)-1
+}
+
+// TestCountersUnderCancelChurn pins the observability counters — Pending,
+// FreeEvents, EventsFired — across a cancel-heavy script that drives the
+// calendar through corpse accumulation, an organic compaction, and
+// reclaim-path recycling. Pending must track live entries exactly at every
+// checkpoint — heap length minus corpses — never the raw length.
+func TestCountersUnderCancelChurn(t *testing.T) {
+	const early, late = 64, 1000
+	e := NewEngine()
+	// The early population keeps the calendar alive; the late bulk (far
+	// future, so none of its corpses can drift to the root and get popped)
+	// is what the cancel storm shreds.
+	earlyEvs := make([]*Event, early)
+	for i := range earlyEvs {
+		earlyEvs[i] = e.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	lateEvs := make([]*Event, late)
+	for i := range lateEvs {
+		lateEvs[i] = e.Schedule(time.Hour+time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	scheduled := early + late
+	if e.Pending() != scheduled || e.FreeEvents() != 0 || e.EventsFired() != 0 {
+		t.Fatalf("fresh calendar: Pending=%d FreeEvents=%d Fired=%d",
+			e.Pending(), e.FreeEvents(), e.EventsFired())
+	}
+
+	// Corpse-parking checkpoint: cancel a batch of interior late events.
+	// They hold their heap slots, so raw length overstates the live queue —
+	// the exact state the Pending fix is about.
+	canceled := 0
+	for _, ev := range lateEvs {
+		if canceled == 40 {
+			break
+		}
+		if interior(e, ev) {
+			e.Cancel(ev)
+			canceled++
+		}
+	}
+	if canceled != 40 || e.dead != 40 {
+		t.Fatalf("corpse seeding: canceled=%d dead=%d", canceled, e.dead)
+	}
+	if got, want := e.Pending(), scheduled-canceled; got != want || len(e.events) != scheduled {
+		t.Fatalf("with corpses parked: Pending=%d want %d (len=%d dead=%d)",
+			got, want, len(e.events), e.dead)
+	}
+
+	// Cancel storm: shred the whole late bulk through the reclaim path.
+	// Interior cancels stack up corpses while leaf cancels detach eagerly
+	// and shrink the heap under them — the ratio that arms the compactor.
+	recycledCancels := 0
+	compacted := false
+	for _, ev := range lateEvs {
+		if ev.canceled {
+			continue
+		}
+		wasInterior := interior(e, ev)
+		e.CancelRecycle(ev)
+		canceled++
+		recycledCancels++
+		if wasInterior && e.dead == 0 {
+			// An interior cancel always increments dead; finding it at zero
+			// means noteDead just ran the compactor.
+			compacted = true
+		}
+		if got, want := e.Pending(), scheduled-canceled; got != want {
+			t.Fatalf("mid-storm: Pending=%d want %d (len=%d dead=%d)",
+				got, want, len(e.events), e.dead)
+		}
+	}
+	if !compacted && e.dead > 0 {
+		// The storm left the threshold crossed but happened to end on leaf
+		// cancels, which never run the dead-ratio check. One more interior
+		// corpse trips it: an event earlier than everything pending sifts
+		// straight into the root region, which is interior by construction.
+		trigger := e.Schedule(time.Microsecond, func() {})
+		scheduled++
+		if !interior(e, trigger) {
+			t.Fatalf("sift-to-root trigger landed in a leaf slot (index %d, len %d)",
+				trigger.index, len(e.events))
+		}
+		e.CancelRecycle(trigger)
+		canceled++
+		recycledCancels++
+		if e.dead == 0 {
+			compacted = true
+		}
+	}
+	if !compacted {
+		t.Fatalf("compaction never triggered: len=%d dead=%d canceled=%d",
+			len(e.events), e.dead, canceled)
+	}
+	if got, want := e.Pending(), scheduled-canceled; got != want {
+		t.Fatalf("post-compaction: Pending=%d want %d (len=%d dead=%d)",
+			got, want, len(e.events), e.dead)
+	}
+	if len(e.events) != e.Pending() {
+		t.Fatalf("compaction left corpses behind: len=%d Pending=%d", len(e.events), e.Pending())
+	}
+	// Every reclaim-path cancel is back on the free list now: leaf cancels
+	// recycle at detach, corpses at the compaction that just swept them.
+	// (Minus one when the compaction trigger was needed: its Schedule draws
+	// an event back out of the very pool the storm filled.)
+	if e.FreeEvents() < recycledCancels-1 {
+		t.Fatalf("FreeEvents=%d after %d reclaim cancels and a compaction",
+			e.FreeEvents(), recycledCancels)
+	}
+
+	// Drain the survivors: every scheduled event has now either fired or
+	// been canceled, and nothing else may fire.
+	e.Run()
+	if want := uint64(scheduled - canceled); e.EventsFired() != want {
+		t.Fatalf("EventsFired=%d after drain, want %d", e.EventsFired(), want)
+	}
+	if e.Pending() != 0 || len(e.events) != 0 || e.dead != 0 {
+		t.Fatalf("after Run: Pending=%d len=%d dead=%d", e.Pending(), len(e.events), e.dead)
+	}
+	if !e.Drained() {
+		t.Fatal("engine not drained")
+	}
+}
+
+// TestPendingExcludesCorpseRoots covers the remaining lazy-delete path: a
+// corpse sitting at the heap root (never a leaf in any heap with children)
+// is skipped by the pop loop, and Pending must exclude it the whole way.
+func TestPendingExcludesCorpseRoots(t *testing.T) {
+	e := NewEngine()
+	first := e.Schedule(time.Millisecond, func() {})
+	for i := 2; i <= 8; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Cancel(first) // root of an 8-entry heap: interior, stays as a corpse
+	if e.dead != 1 {
+		t.Fatalf("root cancel took the leaf path (dead=%d); test premise broken", e.dead)
+	}
+	if got := e.Pending(); got != 7 {
+		t.Fatalf("Pending=%d with a root corpse, want 7", got)
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 7 || e.EventsFired() != 7 {
+		t.Fatalf("stepped %d events (fired counter %d), want 7", fired, e.EventsFired())
+	}
+	if e.Pending() != 0 || e.dead != 0 {
+		t.Fatalf("after drain: Pending=%d dead=%d", e.Pending(), e.dead)
+	}
+}

@@ -259,6 +259,12 @@ type Engine struct {
 	// inv is the invariant harness; nil unless EnableInvariants was called
 	// (or SetDefaultInvariants flipped the package default before NewEngine).
 	inv *Invariants
+
+	// group/domIndex place the engine inside a sim.Domains group: group is
+	// nil for a standalone engine, and domIndex is the engine's position in
+	// the group's deterministic merge order. Set once by NewDomains.
+	group    *Domains
+	domIndex int
 }
 
 type procPanic struct {
@@ -289,9 +295,12 @@ func (e *Engine) Now() time.Duration { return e.now }
 // EventsFired returns the number of events executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// Pending returns the number of scheduled, not-yet-fired events
-// (including canceled ones that have not been lazily popped).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live scheduled, not-yet-fired events.
+// Canceled corpses awaiting their lazy pop are excluded: they can never
+// fire, so counting them would overstate the queue in invariant checks,
+// pool-cap reasoning and bench output whenever a cancel-heavy workload
+// leaves the calendar full of dead entries.
+func (e *Engine) Pending() int { return len(e.events) - e.dead }
 
 // LiveProcs returns the number of spawned processes that have not finished.
 func (e *Engine) LiveProcs() int { return e.procs }
@@ -641,6 +650,15 @@ func (e *Engine) Run() {
 		e.running = false
 		e.releaseIdleWorkers()
 	}()
+	e.runToDrain()
+}
+
+// runToDrain is Run's kernel loop: fire events until no foreground work
+// remains or Stop is called. It is split from Run so a Domains coordinator
+// round can drive the same loop without the enter/exit bookkeeping — in
+// particular without retiring parked workers, which the coordinator reuses
+// across window rounds and releases once, when the whole group run ends.
+func (e *Engine) runToDrain() {
 	for !e.stopped {
 		if e.foreground == 0 && e.procs == 0 && e.flats == 0 {
 			break

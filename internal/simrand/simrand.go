@@ -41,6 +41,13 @@ func (r *RNG) ForkN(label string, n int) *RNG {
 	return New(splitmix64(r.seed ^ h.Sum64() ^ (uint64(n)+1)*0x9e3779b97f4a7c15))
 }
 
+// ForkDomain derives the stream for simulation domain d. It is ForkN under a
+// reserved label, named so domain-sharded drivers fork per-domain roots the
+// same way everywhere: the stream for domain d depends only on (seed, d) —
+// never on how many domains exist — so resharding a workload from 1 to N
+// domains cannot shift any domain's draws.
+func (r *RNG) ForkDomain(d int) *RNG { return r.ForkN("domain", d) }
+
 // splitmix64 is the finalizer of the SplitMix64 generator, used to decorrelate
 // derived seeds.
 func splitmix64(x uint64) uint64 {
