@@ -2,9 +2,9 @@
 # everything, vets, runs the full test suite under the race detector,
 # smoke-runs every benchmark once so the bench harness can never rot, and
 # gives each fuzz target a short live-fuzz burst beyond its seed corpus.
-.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke domainbench domainbench-smoke domainbench-gate validate
+.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke domainbench domainbench-smoke domainbench-gate validate serve wiresmoke
 
-check: build vet test bench-smoke fuzz-smoke scalebench-smoke domainbench-smoke
+check: build vet test bench-smoke fuzz-smoke scalebench-smoke domainbench-smoke wiresmoke
 
 build:
 	go build ./...
@@ -78,6 +78,17 @@ domainbench-smoke:
 # against the checked-in BENCH_domains.json.
 domainbench-gate:
 	go run ./cmd/azbench -run domainbench -gate BENCH_domains.json
+
+# Serve the simulated cloud over the 2009 Azure REST surface on
+# localhost:10000 (freerun clock; see cmd/azserve for paced mode and
+# arrival recording).
+serve:
+	go run ./cmd/azserve
+
+# Boot the real azserve binary and drive a curl smoke session: blob round
+# trip, fault-injected error envelope, management LRO, arrival recording.
+wiresmoke:
+	sh scripts/wiresmoke.sh
 
 # Anchor self-check at validation scale; -workers 4 exercises the parallel
 # scheduler path against the same tolerances.

@@ -33,6 +33,7 @@ import (
 	// Experiments registered outside core (chaosreport) reach the registry
 	// through the packages that define them.
 	_ "azureobs/internal/modis"
+	_ "azureobs/internal/wire"
 )
 
 func main() { os.Exit(run(os.Args[1:])) }

@@ -109,7 +109,7 @@ func (h *scaleHarness) opFinished(err error) {
 // actor, the request state, and the counters are all in the struct itself.
 type scaleClient struct {
 	a   sim.Actor
-	get tablesvc.FlatGet
+	get tablesvc.GetFlat
 	rng simrand.RNG // per-client stream: think draws and retry jitter, by value
 	h   *scaleHarness
 
@@ -141,7 +141,7 @@ func (c *scaleClient) begin() { c.a.Go(c.onWake) }
 // operations it draws the next think time or finishes the client.
 func (c *scaleClient) wake() {
 	if c.inOp {
-		c.get.Start(&c.a, "scale", c.pk, c.rk)
+		c.get.Begin(&c.a, "scale", c.pk, c.rk)
 		return
 	}
 	if c.remaining == 0 {

@@ -21,6 +21,7 @@ import (
 
 	"azureobs/internal/core"
 	"azureobs/internal/modis"
+	_ "azureobs/internal/wire"
 )
 
 // check is one validated anchor with its tolerance (relative unless abs).

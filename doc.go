@@ -6,8 +6,32 @@
 // The library lives under internal/: the simulation kernel (sim), the
 // datacenter and fabric controller (fabric), the flow-level network
 // (netsim), the three storage services (storage/...), the client SDK
-// (azure), the measurement framework (core), and the ModisAzure application
-// (modis). Executables live under cmd/, runnable examples under examples/,
-// and bench_test.go in this directory regenerates every table and figure of
+// (azure), the measurement framework (core), the ModisAzure application
+// (modis), and the HTTP facade over the 2009 Azure REST surface (wire).
+// Executables live under cmd/, runnable examples under examples/, and
+// bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation.
+//
+// # Continuation API naming contract
+//
+// Every layer exposes its blocking operations in two symmetric forms. The
+// blocking form takes the calling *sim.Proc and returns results directly.
+// The flat form runs on a caller-embedded sim.Actor and follows one naming
+// convention throughout the tree:
+//
+//   - A method suffixed Flat (blobsvc Session.GetFlat, Client.PutBlobFlat,
+//     netsim TransferFlat, Signal.WaitFlat) starts the operation on the
+//     actor and delivers results through a caller-supplied callback.
+//   - A reusable request struct named <Op>Flat (tablesvc GetFlat/WriteFlat/
+//     QueryFlat, queuesvc ReqFlat, reqpath CtxFlat) is armed with a Begin*
+//     method; the struct embeds all per-request state so steady-state
+//     requests allocate nothing.
+//
+// Both forms obey the actor's arm-or-finish discipline: every flat step
+// either arms exactly one continuation (a Sleep, a WaitFlat, a nested
+// *Flat call) or finishes the actor, and the kernel panics on a step that
+// does neither. Flat and blocking forms consume identical RNG draws and
+// sequence numbers stage for stage, so their traces are bit-identical by
+// construction — pinned by the per-service equivalence tests and the
+// scalebench/domainbench trace gates.
 package azureobs

@@ -12,6 +12,7 @@ import (
 	"azureobs/internal/azure"
 	"azureobs/internal/fabric"
 	"azureobs/internal/sim"
+	"azureobs/internal/storage/storerr"
 )
 
 func main() {
@@ -53,18 +54,19 @@ func main() {
 			// Wait for a task (poll with backoff, like a real worker role).
 			var body string
 			for {
-				msg, receipt, ok, err := worker.ReceiveMessage(p, queue, time.Minute)
+				rcv, err := worker.Receive(p, queue, time.Minute)
+				if storerr.IsCode(err, storerr.CodeNotFound) {
+					p.Sleep(2 * time.Second) // empty queue: back off and repoll
+					continue
+				}
 				if err != nil {
 					panic(err)
 				}
-				if ok {
-					body = msg.Body
-					if err := worker.DeleteMessage(p, queue, receipt); err != nil {
-						panic(err)
-					}
-					break
+				body = rcv.Msg.Body
+				if err := worker.DeleteMessage(p, queue, rcv.Receipt); err != nil {
+					panic(err)
 				}
-				p.Sleep(2 * time.Second)
+				break
 			}
 			start := p.Now()
 			n, err := worker.GetBlob(p, "inputs", "dataset")

@@ -36,9 +36,9 @@ func TestEndToEndStorageFlow(t *testing.T) {
 		if _, err := cl.AddMessage(p, q, "job-1", 512); err != nil {
 			t.Errorf("add msg: %v", err)
 		}
-		m, r, ok, err := cl.ReceiveMessage(p, q, time.Minute)
-		if err != nil || !ok || m.Body != "job-1" {
-			t.Errorf("receive: %v ok=%v", err, ok)
+		rcv, err := cl.Receive(p, q, time.Minute)
+		if err != nil || rcv.Msg.Body != "job-1" {
+			t.Errorf("receive: %v", err)
 			return
 		}
 		if _, err := cl.GetBlob(p, "data", "input"); err != nil {
@@ -48,7 +48,7 @@ func TestEndToEndStorageFlow(t *testing.T) {
 		if err != nil || got.Size() != 1024 {
 			t.Errorf("get entity: %v", err)
 		}
-		if err := cl.DeleteMessage(p, q, r); err != nil {
+		if err := cl.DeleteMessage(p, q, rcv.Receipt); err != nil {
 			t.Errorf("delete msg: %v", err)
 		}
 	})
@@ -295,4 +295,41 @@ func TestClientsAreIndependent(t *testing.T) {
 	if t1 > 13*time.Second || t2 > 13*time.Second {
 		t.Fatalf("uploads serialized: %v %v", t1, t2)
 	}
+}
+
+// TestQueueClientAPIEmptyIsNotFound pins the redesigned queue client
+// surface: Peek/Receive report an empty queue as CodeNotFound on the single
+// storerr axis, while the deprecated ok-channel methods keep their original
+// shape for calibrated callers.
+func TestQueueClientAPIEmptyIsNotFound(t *testing.T) {
+	c := newCloud()
+	vm := c.Controller.ReadyFleet(1, fabric.Worker, fabric.Small)[0]
+	cl := c.NewClient(vm, 0)
+	c.Engine.Spawn("app", func(p *sim.Proc) {
+		q := cl.CreateQueue("empty")
+		if _, err := cl.Peek(p, q); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("Peek on empty = %v, want NotFound", err)
+		}
+		if _, err := cl.Receive(p, q, time.Minute); !storerr.IsCode(err, storerr.CodeNotFound) {
+			t.Errorf("Receive on empty = %v, want NotFound", err)
+		}
+		if _, ok, err := cl.PeekMessage(p, q); ok || err != nil {
+			t.Errorf("PeekMessage on empty = ok=%v err=%v, want ok=false err=nil", ok, err)
+		}
+		if _, err := cl.AddMessage(p, q, "m", 64); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+		m, err := cl.Peek(p, q)
+		if err != nil || m.Body != "m" {
+			t.Errorf("Peek = %v, %v", m, err)
+		}
+		rcv, err := cl.Receive(p, q, time.Minute)
+		if err != nil || rcv.Msg.Body != "m" {
+			t.Errorf("Receive = %v, %v", rcv, err)
+		}
+		if err := cl.DeleteMessage(p, q, rcv.Receipt); err != nil {
+			t.Errorf("delete by received receipt: %v", err)
+		}
+	})
+	c.Engine.Run()
 }

@@ -166,7 +166,47 @@ func (cl *Client) AddMessage(p *sim.Proc, q *queuesvc.Queue, body string, size i
 	})
 }
 
-// PeekMessage returns the first visible message without state change.
+// Peek returns the first visible message without state change. An empty
+// queue is CodeNotFound — the same axis every other miss on the client API
+// reports — so callers branch with storerr.IsCode instead of a second
+// boolean channel.
+func (cl *Client) Peek(p *sim.Proc, q *queuesvc.Queue) (*queuesvc.Message, error) {
+	return observe(cl, p, "queue.Peek", func() (*queuesvc.Message, error) {
+		m, ok, err := cl.cloud.Queue.Peek(p, q)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, storerr.New(storerr.CodeNotFound, "queue.Peek", "no visible messages")
+		}
+		return m, nil
+	})
+}
+
+// Receive pops the first visible message, hiding it for the visibility
+// window (zero means the service default), and returns it paired with the
+// pop receipt that authorises its deletion. An empty queue is CodeNotFound,
+// as Peek.
+func (cl *Client) Receive(p *sim.Proc, q *queuesvc.Queue, visibility time.Duration) (*queuesvc.Received, error) {
+	return observe(cl, p, "queue.Receive", func() (*queuesvc.Received, error) {
+		m, rcpt, ok, err := cl.cloud.Queue.Receive(p, q, visibility)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, storerr.New(storerr.CodeNotFound, "queue.Receive", "no visible messages")
+		}
+		return &queuesvc.Received{Msg: m, Receipt: rcpt}, nil
+	})
+}
+
+// PeekMessage returns the first visible message without state change, with
+// an empty queue reported as ok=false rather than an error.
+//
+// Deprecated: use Peek, which folds the empty-queue case into the client's
+// single storerr error axis (CodeNotFound). PeekMessage remains for callers
+// calibrated against its ok-channel accounting (an empty peek records a
+// success in Ops).
 func (cl *Client) PeekMessage(p *sim.Proc, q *queuesvc.Queue) (*queuesvc.Message, bool, error) {
 	type peek struct {
 		m  *queuesvc.Message
@@ -181,6 +221,9 @@ func (cl *Client) PeekMessage(p *sim.Proc, q *queuesvc.Queue) (*queuesvc.Message
 
 // ReceiveMessage pops the first visible message, hiding it for the
 // visibility window.
+//
+// Deprecated: use Receive, which returns a *queuesvc.Received and reports
+// an empty queue as CodeNotFound instead of a separate ok channel.
 func (cl *Client) ReceiveMessage(p *sim.Proc, q *queuesvc.Queue, visibility time.Duration) (*queuesvc.Message, queuesvc.Receipt, bool, error) {
 	type recv struct {
 		m    *queuesvc.Message

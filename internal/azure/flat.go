@@ -23,7 +23,7 @@ type clientFlat struct {
 
 	onBlob func(int64, error)            // cached observe wrapper for blob ops
 	onEnt  func(*tablesvc.Entity, error) // cached observe wrapper for table Get
-	tget   *tablesvc.FlatGet             // lazily built on first GetEntityFlat
+	tget   *tablesvc.GetFlat             // lazily built on first GetEntityFlat
 }
 
 func (cl *Client) flatState() *clientFlat {
@@ -93,9 +93,9 @@ func (cl *Client) PutBlobFlat(a *sim.Actor, container, name string, size int64, 
 func (cl *Client) GetEntityFlat(a *sim.Actor, table, pk, rk string, done func(*tablesvc.Entity, error)) {
 	f := cl.flatState()
 	if f.tget == nil {
-		f.tget = cl.cloud.Table.NewFlatGet(f.onEnt)
+		f.tget = cl.cloud.Table.NewGetFlat(f.onEnt)
 	}
 	f.begin(a, "table.Query")
 	f.entDone = done
-	f.tget.Start(a, table, pk, rk)
+	f.tget.Begin(a, table, pk, rk)
 }

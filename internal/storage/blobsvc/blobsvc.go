@@ -213,9 +213,9 @@ type Session struct {
 	down *netsim.Link
 	up   *netsim.Link
 
-	// flat is the session's flat request state, created on first GetFlat /
-	// PutFlat and reused for every later flat request on this session.
-	flat *flatReq
+	// flat is the session's flat request state, created on the first
+	// *Flat call and reused for every later flat request on this session.
+	flat *reqFlat
 }
 
 // NewSession opens a client session. The id decorrelates the session's

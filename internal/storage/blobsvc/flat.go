@@ -6,35 +6,49 @@ import (
 	"azureobs/internal/storage/storerr"
 )
 
-// flatReq is a session's flat request state: the blob Get/Put bodies
-// compiled into continuations driven by the caller's actor. One request may
-// be in flight per session at a time — exactly the closed-loop shape the
-// paper's clients have — so the struct and its two cached continuations are
+// bop selects which blob operation a flat request runs.
+type bop int
+
+const (
+	bGet bop = iota
+	bPut
+	bExists
+	bDelete
+)
+
+// reqFlat is a session's flat request state: the blob op bodies compiled
+// into continuations driven by the caller's actor. One request may be in
+// flight per session at a time — exactly the closed-loop shape the paper's
+// clients have — so the struct and its two cached continuations are
 // allocated once and reused for every request the session ever issues.
 //
-// Stage order replicates Get/Put through the goroutine pipeline verbatim:
-// admission (outage → conn-fail → request-latency sleep → server-busy),
-// lookup, read-fault, fabric transfer, integrity/commit, hook delivery, then
-// the caller's done callback at the instant Get/Put would have returned.
-type flatReq struct {
+// Stage order replicates the blocking ops through the goroutine pipeline
+// verbatim: admission (outage → conn-fail → request-latency sleep →
+// server-busy), lookup, read-fault, fabric transfer, integrity/commit, hook
+// delivery, then the caller's done callback at the instant the blocking
+// form would have returned. Exists and Delete have no transfer stage, as
+// their blocking twins do not.
+type reqFlat struct {
 	sess *Session
 	a    *sim.Actor
-	c    reqpath.FlatCtx
+	c    reqpath.CtxFlat
 
-	get             bool
+	op              bop
 	container, name string
 	size            int64
 	overwrite       bool
 	b               *Blob
-	done            func(size int64, err error)
+	done            func(size int64, err error) // get/put completion
+	okDone          func(ok bool, err error)    // exists completion
+	errDone         func(err error)             // delete completion
 
 	afterAdmit func() // cached: runs after the request-latency sleep
 	afterXfer  func() // cached: runs when the fabric transfer completes
 }
 
-func (sess *Session) flatReq() *flatReq {
+func (sess *Session) flatReq() *reqFlat {
 	if sess.flat == nil {
-		r := &flatReq{sess: sess}
+		r := &reqFlat{sess: sess}
 		r.afterAdmit = r.admitted
 		r.afterXfer = r.transferred
 		sess.flat = r
@@ -46,21 +60,40 @@ func (sess *Session) flatReq() *flatReq {
 // and done receives the blob size (0 on error) at the instant Get would have
 // returned. One flat request may be in flight per session.
 func (sess *Session) GetFlat(a *sim.Actor, container, name string, done func(size int64, err error)) {
-	sess.flatReq().begin(a, "blob.Get", true, container, name, 0, false, done)
+	r := sess.flatReq()
+	r.done = done
+	r.begin(a, "blob.Get", bGet, container, name, 0, false)
 }
 
 // PutFlat is the flat-actor form of Put; done receives the upload size and
 // the request's outcome.
 func (sess *Session) PutFlat(a *sim.Actor, container, name string, size int64, overwrite bool, done func(size int64, err error)) {
-	sess.flatReq().begin(a, "blob.Put", false, container, name, size, overwrite, done)
+	r := sess.flatReq()
+	r.done = done
+	r.begin(a, "blob.Put", bPut, container, name, size, overwrite)
 }
 
-func (r *flatReq) begin(a *sim.Actor, op string, get bool, container, name string, size int64, overwrite bool, done func(int64, error)) {
+// ExistsFlat is the flat-actor form of Exists; done receives the existence
+// check's outcome at the instant Exists would have returned.
+func (sess *Session) ExistsFlat(a *sim.Actor, container, name string, done func(ok bool, err error)) {
+	r := sess.flatReq()
+	r.okDone = done
+	r.begin(a, "blob.Exists", bExists, container, name, 0, false)
+}
+
+// DeleteFlat is the flat-actor form of Delete.
+func (sess *Session) DeleteFlat(a *sim.Actor, container, name string, done func(err error)) {
+	r := sess.flatReq()
+	r.errDone = done
+	r.begin(a, "blob.Delete", bDelete, container, name, 0, false)
+}
+
+func (r *reqFlat) begin(a *sim.Actor, op string, kind bop, container, name string, size int64, overwrite bool) {
 	if r.a != nil {
 		panic("blobsvc: session already has a flat request in flight")
 	}
-	r.a, r.get = a, get
-	r.container, r.name, r.size, r.overwrite, r.done = container, name, size, overwrite, done
+	r.a, r.op = a, kind
+	r.container, r.name, r.size, r.overwrite = container, name, size, overwrite
 	r.c.Begin(r.sess.pl, op, a.Now())
 	sleep, hasSleep, err := r.c.AdmitPre()
 	if err != nil {
@@ -74,13 +107,14 @@ func (r *flatReq) begin(a *sim.Actor, op string, get bool, container, name strin
 	r.admitted()
 }
 
-func (r *flatReq) admitted() {
+func (r *reqFlat) admitted() {
 	if err := r.c.AdmitPost(); err != nil {
 		r.finish(err)
 		return
 	}
 	sess, svc := r.sess, r.sess.svc
-	if r.get {
+	switch r.op {
+	case bGet:
 		b, ok := svc.containers[r.container][r.name]
 		if !ok {
 			r.finish(r.c.Failf(storerr.CodeNotFound, "%s/%s", r.container, r.name))
@@ -92,23 +126,37 @@ func (r *flatReq) admitted() {
 			return
 		}
 		svc.net.TransferFlat(r.a, b.Size, r.afterXfer, b.egress, sess.down)
-		return
+	case bPut:
+		cont, ok := svc.containers[r.container]
+		if !ok {
+			r.finish(r.c.Failf(storerr.CodeNotFound, "container %s", r.container))
+			return
+		}
+		if _, exists := cont[r.name]; exists && !r.overwrite {
+			r.finish(r.c.Failf(storerr.CodeBlobExists, "%s/%s", r.container, r.name))
+			return
+		}
+		svc.net.TransferFlat(r.a, r.size, r.afterXfer, sess.up, svc.ingress)
+	case bExists:
+		// The blocking body only inspects the map — no station, no transfer.
+		if _, ok := svc.containers[r.container][r.name]; ok {
+			r.size = 1 // carries the boolean through finish
+		}
+		r.finish(nil)
+	case bDelete:
+		cont := svc.containers[r.container]
+		if _, ok := cont[r.name]; !ok {
+			r.finish(r.c.Failf(storerr.CodeNotFound, "%s/%s", r.container, r.name))
+			return
+		}
+		delete(cont, r.name)
+		r.finish(nil)
 	}
-	cont, ok := svc.containers[r.container]
-	if !ok {
-		r.finish(r.c.Failf(storerr.CodeNotFound, "container %s", r.container))
-		return
-	}
-	if _, exists := cont[r.name]; exists && !r.overwrite {
-		r.finish(r.c.Failf(storerr.CodeBlobExists, "%s/%s", r.container, r.name))
-		return
-	}
-	svc.net.TransferFlat(r.a, r.size, r.afterXfer, sess.up, svc.ingress)
 }
 
-func (r *flatReq) transferred() {
+func (r *reqFlat) transferred() {
 	svc := r.sess.svc
-	if r.get {
+	if r.op == bGet {
 		svc.downloads++
 		r.finish(r.c.CorruptRead("%s/%s checksum mismatch", r.b.Container, r.b.Name))
 		return
@@ -118,15 +166,23 @@ func (r *flatReq) transferred() {
 	r.finish(nil)
 }
 
-func (r *flatReq) finish(err error) {
-	size := r.size
-	if r.get && err != nil {
+func (r *reqFlat) finish(err error) {
+	op, size := r.op, r.size
+	if op == bGet && err != nil {
 		size = 0
 	}
-	done := r.done
+	done, okDone, errDone := r.done, r.okDone, r.errDone
 	r.c.Finish(r.a.Now(), err)
 	// Clear the in-flight state before the callback so the continuation can
 	// issue the session's next request immediately.
-	r.a, r.done, r.b = nil, nil, nil
-	done(size, err)
+	r.a, r.b = nil, nil
+	r.done, r.okDone, r.errDone = nil, nil, nil
+	switch op {
+	case bExists:
+		okDone(size != 0 && err == nil, err)
+	case bDelete:
+		errDone(err)
+	default:
+		done(size, err)
+	}
 }

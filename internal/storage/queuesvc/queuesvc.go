@@ -16,6 +16,8 @@ package queuesvc
 
 import (
 	"container/list"
+	"strconv"
+	"strings"
 	"time"
 
 	"azureobs/internal/netsim"
@@ -85,6 +87,34 @@ type Message struct {
 type Receipt struct {
 	MsgID uint64
 	token uint64
+}
+
+// String encodes the receipt in its wire form, "<msgID>.<token>". The token
+// is unexported in-process; the wire form round-trips it so REST clients can
+// present pop receipts back to the facade.
+func (r Receipt) String() string {
+	return strconv.FormatUint(r.MsgID, 10) + "." + strconv.FormatUint(r.token, 10)
+}
+
+// ParseReceipt decodes a wire receipt produced by String.
+func ParseReceipt(s string) (Receipt, bool) {
+	dot := strings.IndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 {
+		return Receipt{}, false
+	}
+	id, err1 := strconv.ParseUint(s[:dot], 10, 64)
+	tok, err2 := strconv.ParseUint(s[dot+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return Receipt{}, false
+	}
+	return Receipt{MsgID: id, token: tok}, true
+}
+
+// Received pairs a popped message with the receipt that authorises its
+// deletion — the unit a successful Receive hands the consumer.
+type Received struct {
+	Msg     *Message
+	Receipt Receipt
 }
 
 // Service is one queue storage account endpoint.

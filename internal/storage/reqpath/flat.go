@@ -7,7 +7,7 @@ import (
 	"azureobs/internal/storage/storerr"
 )
 
-// FlatCtx is the flat-actor counterpart of Ctx: one in-flight request whose
+// CtxFlat is the flat-actor counterpart of Ctx: one in-flight request whose
 // stages run as caller continuations instead of blocking a process. Services
 // embed one in their per-session (or per-client) flat request state, so a
 // steady-state request allocates nothing.
@@ -22,14 +22,14 @@ import (
 //
 // where the caller owns the sleep (via its Actor) and the transfer (via
 // netsim.TransferFlat).
-type FlatCtx struct {
+type CtxFlat struct {
 	pl    *Pipeline
 	Op    string
 	start time.Duration
 }
 
 // Begin arms the context for one request starting at virtual time now.
-func (c *FlatCtx) Begin(pl *Pipeline, op string, now time.Duration) {
+func (c *CtxFlat) Begin(pl *Pipeline, op string, now time.Duration) {
 	c.pl, c.Op, c.start = pl, op, now
 }
 
@@ -38,7 +38,7 @@ func (c *FlatCtx) Begin(pl *Pipeline, op string, now time.Duration) {
 // returns the admission latency the caller must sleep before AdmitPost;
 // hasSleep is false when the pipeline has no latency stage (the caller must
 // then proceed to AdmitPost without scheduling a wake, as admit would).
-func (c *FlatCtx) AdmitPre() (sleep time.Duration, hasSleep bool, err error) {
+func (c *CtxFlat) AdmitPre() (sleep time.Duration, hasSleep bool, err error) {
 	pl := c.pl
 	switch pl.hs.outage {
 	case OutageBlackout:
@@ -48,7 +48,7 @@ func (c *FlatCtx) AdmitPre() (sleep time.Duration, hasSleep bool, err error) {
 			return 0, false, c.fail(FaultBusy, "service brownout")
 		}
 	}
-	if hit(pl.conn, pl.cfg.Faults.ConnFailProb) {
+	if hit(pl.conn, pl.faultPlan().ConnFailProb) {
 		return 0, false, c.fail(FaultConn, "connection reset")
 	}
 	if pl.cfg.Latency != nil {
@@ -59,48 +59,72 @@ func (c *FlatCtx) AdmitPre() (sleep time.Duration, hasSleep bool, err error) {
 
 // AdmitPost is the admission half after the request-latency sleep: the
 // server-busy stage.
-func (c *FlatCtx) AdmitPost() error {
-	if hit(c.pl.busy, c.pl.cfg.Faults.ServerBusyProb) {
+func (c *CtxFlat) AdmitPost() error {
+	if hit(c.pl.busy, c.pl.faultPlan().ServerBusyProb) {
 		return c.fail(FaultBusy, "throttled")
 	}
 	return nil
 }
 
 // fail issues the ReplyStage mapping for an injected fault.
-func (c *FlatCtx) fail(f Fault, msg string) error {
+func (c *CtxFlat) fail(f Fault, msg string) error {
 	return storerr.New(f.Code(), c.Op, msg)
 }
 
 // Failf builds a service-semantic error (not-found, conflict, ...) carrying
 // the request's op.
-func (c *FlatCtx) Failf(code storerr.Code, format string, args ...any) error {
+func (c *CtxFlat) Failf(code storerr.Code, format string, args ...any) error {
 	return storerr.Newf(code, c.Op, format, args...)
 }
 
 // ReadFault applies the server-side read-failure stage, as Ctx.ReadFault.
-func (c *FlatCtx) ReadFault() error {
-	if hit(c.pl.read, c.pl.cfg.Faults.ReadFailProb) {
+func (c *CtxFlat) ReadFault() error {
+	if hit(c.pl.read, c.pl.faultPlan().ReadFailProb) {
 		return c.fail(FaultRead, "read failed server-side")
 	}
 	return nil
 }
 
 // CorruptRead applies the post-download integrity stage, as Ctx.CorruptRead.
-func (c *FlatCtx) CorruptRead(format string, args ...any) error {
-	if hit(c.pl.corrupt, c.pl.cfg.Faults.CorruptReadProb) {
+func (c *CtxFlat) CorruptRead(format string, args ...any) error {
+	if hit(c.pl.corrupt, c.pl.faultPlan().CorruptReadProb) {
 		return storerr.Newf(FaultCorrupt.Code(), c.Op, format, args...)
 	}
 	return nil
 }
 
+// Sample draws a duration from dist on the pipeline's latency stream, as
+// Ctx.Sample — same stream, same draw order.
+func (c *CtxFlat) Sample(dist simrand.Dist) time.Duration {
+	return simrand.Duration(dist, c.pl.latency)
+}
+
+// TimeoutHit draws the timeout-stage Bernoulli trial, consuming exactly
+// what Ctx.TimeoutFault's gate would. On a hit the caller must sleep
+// ServerTimeout on its actor and finish with TimeoutErrf — the flat split
+// of TimeoutFault's burn-then-fail.
+func (c *CtxFlat) TimeoutHit(prob float64) bool {
+	return hit(c.pl.timeout, prob)
+}
+
+// TimeoutErrf builds the timeout reply issued after the ServerTimeout
+// burn, as Ctx.Timeout's error half.
+func (c *CtxFlat) TimeoutErrf(format string, args ...any) error {
+	return storerr.Newf(FaultTimeout.Code(), c.Op, format, args...)
+}
+
+// ServerTimeout returns the configured server-side deadline the caller
+// must burn before delivering a timeout reply.
+func (c *CtxFlat) ServerTimeout() time.Duration { return c.pl.cfg.ServerTimeout }
+
 // UploadCost prices a size-byte client→service payload, as Ctx.UploadCost.
-func (c *FlatCtx) UploadCost(size int) time.Duration {
+func (c *CtxFlat) UploadCost(size int) time.Duration {
 	return bwCost(size, c.pl.cfg.UploadBW)
 }
 
 // DownloadCost prices a size-byte service→client payload, as
 // Ctx.DownloadCost.
-func (c *FlatCtx) DownloadCost(size int) time.Duration {
+func (c *CtxFlat) DownloadCost(size int) time.Duration {
 	return bwCost(size, c.pl.cfg.DownloadBW)
 }
 
@@ -108,7 +132,7 @@ func (c *FlatCtx) DownloadCost(size int) time.Duration {
 // completion instant and err the request's outcome (nil on success). It is
 // the flat counterpart of Do's hook loop and must run exactly once per
 // Begin, before the caller's own completion callback.
-func (c *FlatCtx) Finish(now time.Duration, err error) {
+func (c *CtxFlat) Finish(now time.Duration, err error) {
 	for _, h := range c.pl.hs.hooks {
 		h(Event{Service: c.pl.cfg.Service, Op: c.Op, Start: c.start, Latency: now - c.start, Err: err})
 	}

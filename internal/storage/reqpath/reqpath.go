@@ -176,6 +176,13 @@ type Config struct {
 type hookSet struct {
 	hooks  []Hook
 	outage Outage
+	// faults, when non-nil, overrides the construction-time fault plan for
+	// this pipeline and every fork sharing the hook set — the wire facade's
+	// live fault-injection control surface. nil (the default) reads the
+	// per-pipeline config, so the override costs healthy runs nothing and
+	// perturbs no stream: the Bernoulli stages draw exactly as before until
+	// a probability actually changes.
+	faults *FaultConfig
 }
 
 // Pipeline executes requests for one service endpoint (or one session of
@@ -234,6 +241,30 @@ func (pl *Pipeline) SetOutage(o Outage) { pl.hs.outage = o }
 // Outage returns the current service-wide outage mode.
 func (pl *Pipeline) Outage() Outage { return pl.hs.outage }
 
+// SetFaults overrides the fault plan for this pipeline and every fork
+// sharing its hook set, effective for subsequent requests — the live
+// injection knob behind the wire facade's /control/faults endpoint.
+// Changing a probability between zero and non-zero shifts that stage's
+// stream draws for later requests (as constructing the service with the
+// new plan would); healthy stages stay untouched.
+func (pl *Pipeline) SetFaults(fc FaultConfig) {
+	fc = fc.Clamp()
+	pl.hs.faults = &fc
+}
+
+// ResetFaults lifts a SetFaults override, returning every pipeline in the
+// hook set to its construction-time fault plan.
+func (pl *Pipeline) ResetFaults() { pl.hs.faults = nil }
+
+// faultPlan returns the effective fault plan: the service-wide override
+// when one is set, else this pipeline's own config.
+func (pl *Pipeline) faultPlan() *FaultConfig {
+	if pl.hs.faults != nil {
+		return pl.hs.faults
+	}
+	return &pl.cfg.Faults
+}
+
 // hit draws a Bernoulli trial on the stage stream, consuming no randomness
 // for the degenerate probabilities — a disabled stage must not perturb
 // anything.
@@ -281,13 +312,13 @@ func (pl *Pipeline) admit(c *Ctx) error {
 			return c.fail(FaultBusy, "service brownout")
 		}
 	}
-	if hit(pl.conn, pl.cfg.Faults.ConnFailProb) {
+	if hit(pl.conn, pl.faultPlan().ConnFailProb) {
 		return c.fail(FaultConn, "connection reset")
 	}
 	if pl.cfg.Latency != nil {
 		c.P.Sleep(simrand.Duration(pl.cfg.Latency, pl.latency))
 	}
-	if hit(pl.busy, pl.cfg.Faults.ServerBusyProb) {
+	if hit(pl.busy, pl.faultPlan().ServerBusyProb) {
 		return c.fail(FaultBusy, "throttled")
 	}
 	return nil
@@ -307,7 +338,7 @@ func (c *Ctx) Failf(code storerr.Code, format string, args ...any) error {
 // ReadFault applies the server-side read-failure stage: with ReadFailProb it
 // returns the FaultRead reply, else nil.
 func (c *Ctx) ReadFault() error {
-	if hit(c.pl.read, c.pl.cfg.Faults.ReadFailProb) {
+	if hit(c.pl.read, c.pl.faultPlan().ReadFailProb) {
 		return c.fail(FaultRead, "read failed server-side")
 	}
 	return nil
@@ -316,7 +347,7 @@ func (c *Ctx) ReadFault() error {
 // CorruptRead applies the post-download integrity stage: with
 // CorruptReadProb it returns the FaultCorrupt reply, else nil.
 func (c *Ctx) CorruptRead(format string, args ...any) error {
-	if hit(c.pl.corrupt, c.pl.cfg.Faults.CorruptReadProb) {
+	if hit(c.pl.corrupt, c.pl.faultPlan().CorruptReadProb) {
 		return storerr.Newf(FaultCorrupt.Code(), c.Op, format, args...)
 	}
 	return nil

@@ -1,0 +1,74 @@
+package storerr
+
+import "testing"
+
+// TestClassCoversEveryCode pins that every defined code has a
+// classification with a real HTTP status and wire string — the facade
+// serves blind off this table, so a hole here is a hole in the REST
+// surface.
+func TestClassCoversEveryCode(t *testing.T) {
+	want := map[Code]Classification{
+		CodeTimeout:     {KindRetryable, 500, "OperationTimedOut"},
+		CodeServerBusy:  {KindRetryable, 503, "ServerBusy"},
+		CodeBlobExists:  {KindConflict, 409, "BlobAlreadyExists"},
+		CodeNotFound:    {KindNotFound, 404, "ResourceNotFound"},
+		CodeConflict:    {KindConflict, 409, "Conflict"},
+		CodeCorruptRead: {KindRetryable, 500, "CorruptRead"},
+		CodeConnection:  {KindRetryable, 500, "ConnectionFailure"},
+		CodeInternal:    {KindRetryable, 500, "InternalClientError"},
+	}
+	codes := Codes()
+	if len(codes) != len(want) {
+		t.Fatalf("Codes() lists %d codes, classification table pins %d", len(codes), len(want))
+	}
+	for _, c := range codes {
+		cl := Class(c)
+		w, ok := want[c]
+		if !ok {
+			t.Errorf("code %q missing from the pinned table", c)
+			continue
+		}
+		if cl != w {
+			t.Errorf("Class(%q) = %+v, want %+v", c, cl, w)
+		}
+		if cl.Status < 400 || cl.Status > 599 {
+			t.Errorf("Class(%q).Status = %d, not an error status", c, cl.Status)
+		}
+		if cl.Wire == "" {
+			t.Errorf("Class(%q).Wire is empty", c)
+		}
+	}
+}
+
+// TestClassDrivesRetryable pins that Retryable/IsRetryable are views of
+// the Class table, including the retry-by-default rule for unknown codes
+// that FuzzRetryClassify (internal/azure) depends on.
+func TestClassDrivesRetryable(t *testing.T) {
+	for _, c := range Codes() {
+		err := New(c, "op", "")
+		if got, want := err.Retryable(), Class(c).Kind == KindRetryable; got != want {
+			t.Errorf("(%q).Retryable() = %v, Class kind %v", c, got, Class(c).Kind)
+		}
+		if got, want := IsRetryable(err), err.Retryable(); got != want {
+			t.Errorf("IsRetryable(%q) = %v, Retryable() = %v", c, got, want)
+		}
+	}
+	unknown := Class(Code("NoSuchCode"))
+	if unknown.Kind != KindRetryable || unknown.Status != 500 || unknown.Wire != "NoSuchCode" {
+		t.Errorf("unknown code classification = %+v, want retryable/500/pass-through", unknown)
+	}
+	if !New("NoSuchCode", "op", "").Retryable() {
+		t.Error("unknown codes must stay retryable (pinned by FuzzRetryClassify)")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, s := range map[Kind]string{
+		KindRetryable: "retryable", KindConflict: "conflict",
+		KindNotFound: "not-found", KindFatal: "fatal",
+	} {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -38,6 +38,90 @@ const (
 	CodeInternal Code = "InternalClientError"
 )
 
+// Codes lists every defined code in declaration order — the iteration
+// surface for exhaustiveness tests (every code must classify, every code
+// must serve over the wire facade).
+func Codes() []Code {
+	return []Code{
+		CodeTimeout, CodeServerBusy, CodeBlobExists, CodeNotFound,
+		CodeConflict, CodeCorruptRead, CodeConnection, CodeInternal,
+	}
+}
+
+// Kind partitions the code space by how a client should react: retry,
+// treat as a semantic conflict, treat as missing, or give up. It is the
+// single retry-classification axis — Error.Retryable, IsRetryable and the
+// azure RetryPolicy all consult it through Class.
+type Kind int
+
+// Classification kinds.
+const (
+	// KindRetryable marks transient faults a retry can plausibly outlast.
+	// Unknown codes classify here: the classic storage client library
+	// retried anything it could not prove was semantic, and the pinned
+	// retry traces (FuzzRetryClassify) depend on that default.
+	KindRetryable Kind = iota
+	// KindConflict marks semantic clashes with existing state (blob exists,
+	// entity version conflict, stale pop receipt). Retrying cannot help.
+	KindConflict
+	// KindNotFound marks missing resources. Retrying cannot help.
+	KindNotFound
+	// KindFatal marks errors that are neither transient nor semantic —
+	// client-side bugs. No current code classifies here; the kind exists so
+	// the wire facade and future codes have a non-retryable bucket that is
+	// not a conflict or a miss.
+	KindFatal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConflict:
+		return "conflict"
+	case KindNotFound:
+		return "not-found"
+	case KindFatal:
+		return "fatal"
+	default:
+		return "retryable"
+	}
+}
+
+// Classification is one row of the Class table: the retry kind, the HTTP
+// status the wire facade answers with, and the wire code string serialized
+// into the XML error envelope.
+type Classification struct {
+	Kind   Kind
+	Status int    // HTTP status for the wire facade (2009 storage REST API)
+	Wire   string // code string in the <Error><Code> envelope
+}
+
+// Class is the single exported classification table mapping every code to
+// its retry kind, HTTP status and wire string. Codes outside the defined
+// set (including foreign strings smuggled in by wrappers) classify as
+// retryable with status 500, preserving the library's classic
+// retry-by-default behaviour.
+func Class(code Code) Classification {
+	switch code {
+	case CodeTimeout:
+		return Classification{KindRetryable, 500, string(CodeTimeout)}
+	case CodeServerBusy:
+		return Classification{KindRetryable, 503, string(CodeServerBusy)}
+	case CodeBlobExists:
+		return Classification{KindConflict, 409, string(CodeBlobExists)}
+	case CodeNotFound:
+		return Classification{KindNotFound, 404, string(CodeNotFound)}
+	case CodeConflict:
+		return Classification{KindConflict, 409, string(CodeConflict)}
+	case CodeCorruptRead:
+		return Classification{KindRetryable, 500, string(CodeCorruptRead)}
+	case CodeConnection:
+		return Classification{KindRetryable, 500, string(CodeConnection)}
+	case CodeInternal:
+		return Classification{KindRetryable, 500, string(CodeInternal)}
+	}
+	return Classification{KindRetryable, 500, string(code)}
+}
+
 // Error is a typed storage service error.
 type Error struct {
 	Code Code
@@ -53,14 +137,10 @@ func (e *Error) Error() string {
 }
 
 // Retryable reports whether retrying the operation can plausibly succeed.
-// Conflicts and not-found are semantic outcomes, not transient faults.
+// Conflicts and not-found are semantic outcomes, not transient faults. The
+// decision is the Class table's, not a second encoding of it.
 func (e *Error) Retryable() bool {
-	switch e.Code {
-	case CodeBlobExists, CodeNotFound, CodeConflict:
-		return false
-	default:
-		return true
-	}
+	return Class(e.Code).Kind == KindRetryable
 }
 
 // New builds a typed error.

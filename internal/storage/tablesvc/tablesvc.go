@@ -262,21 +262,32 @@ func (s *Service) partition(table, pk string) map[string]*Entity {
 	return p
 }
 
-// overloaded applies the ingest-overload timeout model for write-class ops:
-// with n concurrent clients pushing size-byte payloads at the station's mean
-// rate, per-op timeout probability is OverloadK·(1−1/ρ) once offered load ρ
-// exceeds 1. The timeout draw and burn run on the pipeline's timeout stage.
-func (s *Service) overloaded(c *reqpath.Ctx, st *station.Station, size int) error {
+// overloadProb computes the ingest-overload timeout model for write-class
+// ops: with n concurrent clients pushing size-byte payloads at the station's
+// mean rate, per-op timeout probability is OverloadK·(1−1/ρ) once offered
+// load ρ exceeds 1, and zero otherwise. Shared by the blocking and flat
+// request paths so both price overload identically.
+func (s *Service) overloadProb(st *station.Station, size int) (prob, rho float64) {
 	n := st.Attached()
 	if n < 1 {
 		n = 1
 	}
 	offered := float64(n) * float64(size) / st.MeanLatency(n).Seconds()
-	rho := offered / float64(s.cfg.IngestCapacity)
+	rho = offered / float64(s.cfg.IngestCapacity)
 	if rho <= 1 {
+		return 0, rho
+	}
+	return s.cfg.OverloadK * (1 - 1/rho), rho
+}
+
+// overloaded applies overloadProb on the pipeline's timeout stage: the
+// Bernoulli draw, the ServerTimeout burn, and the timeout reply.
+func (s *Service) overloaded(c *reqpath.Ctx, st *station.Station, size int) error {
+	prob, rho := s.overloadProb(st, size)
+	if prob <= 0 {
 		return nil
 	}
-	if err := c.TimeoutFault(s.cfg.OverloadK*(1-1/rho), "partition ingest overloaded (rho=%.2f)", rho); err != nil {
+	if err := c.TimeoutFault(prob, "partition ingest overloaded (rho=%.2f)", rho); err != nil {
 		s.timeouts++
 		return err
 	}

@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# wiresmoke: boot azserve in free-run mode and drive a smoke session with
+# curl — container/blob round trip, error envelope under injected faults,
+# and a recorded arrival log. Exercises the real binary end to end, which
+# `go test ./internal/wire` (in-process httptest) cannot.
+set -eu
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/azserve" ./cmd/azserve
+"$tmp/azserve" -addr 127.0.0.1:0 -record "$tmp/arrivals.log" >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+# The server logs its picked port; wait for the line.
+base=""
+i=0
+while [ $i -lt 100 ]; do
+	base="$(sed -n 's/.*listening on \(http:[^ ]*\).*/\1/p' "$tmp/serve.log" | head -1)"
+	[ -n "$base" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "wiresmoke: azserve exited early"; cat "$tmp/serve.log"; exit 1; }
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$base" ] || { echo "wiresmoke: azserve did not start"; cat "$tmp/serve.log"; exit 1; }
+
+status() { curl -s -o /dev/null -w '%{http_code}' "$@"; }
+expect() {
+	want="$1"
+	shift
+	got="$(status "$@")"
+	if [ "$got" != "$want" ]; then
+		echo "wiresmoke FAIL: $* -> $got, want $want"
+		exit 1
+	fi
+}
+
+curl -fsS "$base/healthz" >/dev/null
+
+expect 201 -X PUT "$base/smoke"
+expect 201 -X PUT -H 'x-ms-size: 1048576' "$base/smoke/blob"
+expect 200 "$base/smoke/blob"
+len="$(curl -s "$base/smoke/blob" | wc -c | tr -d ' ')"
+[ "$len" = "1048576" ] || { echo "wiresmoke FAIL: blob GET returned $len bytes, want 1048576"; exit 1; }
+expect 404 "$base/smoke/missing"
+
+# Queue round trip.
+expect 201 -X PUT "$base/queue/jobs"
+expect 201 -X POST "$base/queue/jobs/messages?size=256"
+expect 200 "$base/queue/jobs/messages?visibilitytimeout=60"
+
+# Injected faults surface as the classic envelope.
+expect 204 -X POST "$base/control/faults?service=blob&busy=1"
+expect 503 "$base/smoke/blob"
+body="$(curl -s "$base/smoke/blob")"
+case "$body" in
+*"<Code>ServerBusy</Code>"*) ;;
+*) echo "wiresmoke FAIL: ServerBusy envelope missing, got: $body"; exit 1 ;;
+esac
+expect 204 -X POST "$base/control/faults?service=blob&reset=1"
+expect 200 "$base/smoke/blob"
+
+# Management LRO: 202 now, Succeeded on poll (free-run drains it).
+op="$(curl -s -D - -o /dev/null -X POST "$base/management/deployments?name=smoke&role=worker&size=small&instances=1" | tr -d '\r' | sed -n 's/^Location: //p')"
+[ -n "$op" ] || { echo "wiresmoke FAIL: deploy returned no Location header"; exit 1; }
+case "$(curl -s "$base$op")" in
+*"<Status>Succeeded</Status>"*) ;;
+*) echo "wiresmoke FAIL: operation $op did not succeed"; exit 1 ;;
+esac
+
+# Clean shutdown flushes the arrival log.
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+grep -q "GET /smoke/blob" "$tmp/arrivals.log" || { echo "wiresmoke FAIL: arrival log missing entries"; cat "$tmp/arrivals.log"; exit 1; }
+
+echo "wiresmoke OK"
