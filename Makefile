@@ -2,9 +2,9 @@
 # everything, vets, runs the full test suite under the race detector,
 # smoke-runs every benchmark once so the bench harness can never rot, and
 # gives each fuzz target a short live-fuzz burst beyond its seed corpus.
-.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke domainbench domainbench-smoke domainbench-gate validate serve wiresmoke
+.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke domainbench domainbench-smoke domainbench-gate geobench geobench-smoke geobench-gate validate serve wiresmoke
 
-check: build vet test bench-smoke fuzz-smoke scalebench-smoke domainbench-smoke wiresmoke
+check: build vet test bench-smoke fuzz-smoke scalebench-smoke domainbench-smoke geobench-smoke wiresmoke
 
 build:
 	go build ./...
@@ -24,6 +24,7 @@ bench-smoke:
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzFaultConfig$$' -fuzztime 30s ./internal/storage/reqpath
 	go test -run '^$$' -fuzz '^FuzzRetryClassify$$' -fuzztime 30s ./internal/azure
+	go test -run '^$$' -fuzz '^FuzzGeoRoute$$' -fuzztime 30s ./internal/geo
 
 # Full timed microbenchmarks (internal/netsim flow churn + sweeps).
 bench:
@@ -78,6 +79,24 @@ domainbench-smoke:
 # against the checked-in BENCH_domains.json.
 domainbench-gate:
 	go run ./cmd/azbench -run domainbench -gate BENCH_domains.json
+
+# Multi-region geo ladder (domains 1/2/4 over the four-region fig8geo cell
+# and a 1k-client geo-pop world) refreshing the checked-in BENCH_geo.json;
+# every rung must produce the identical trace hash.
+geobench:
+	go run ./cmd/azbench -run geobench
+
+# Reduced ladder (domains 1/2) with the same cross-domain trace-equality
+# assertions. Writes its artifact to /tmp so the checked-in full-scale
+# capture stays untouched.
+geobench-smoke:
+	go run ./cmd/azbench -run geobench -quick -benchout /tmp/BENCH_geo_smoke.json
+
+# Regression step in the domainbench-gate convention: rerun the fig8geo cell
+# at domains=1 (min of five) and fail on >10% slowdown — or any trace drift —
+# against the checked-in BENCH_geo.json.
+geobench-gate:
+	go run ./cmd/azbench -run geobench -gate BENCH_geo.json
 
 # Serve the simulated cloud over the 2009 Azure REST surface on
 # localhost:10000 (freerun clock; see cmd/azserve for paced mode and

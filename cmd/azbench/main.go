@@ -26,6 +26,7 @@ import (
 	"azureobs/internal/core"
 	"azureobs/internal/core/sched"
 	"azureobs/internal/fabric"
+	"azureobs/internal/geo"
 	"azureobs/internal/metrics"
 	"azureobs/internal/report"
 	"azureobs/internal/svgplot"
@@ -42,7 +43,7 @@ func main() { os.Exit(run(os.Args[1:])) }
 func run(args []string) int {
 	fs := flag.NewFlagSet("azbench", flag.ExitOnError)
 	var (
-		runName = fs.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench|simbench|scalebench|domainbench")
+		runName = fs.String("run", "all", "artifact: all|"+strings.Join(core.Names(), "|")+"|netbench|storagebench|schedbench|simbench|scalebench|domainbench|geobench")
 		seed    = fs.Uint64("seed", 42, "root random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for fast runs")
 		workers = fs.Int("workers", 1, "scheduler width: independent experiment cells run on this many goroutines (1 = serial; results are bit-identical at any width)")
@@ -54,7 +55,7 @@ func run(args []string) int {
 		bench   = fs.String("benchout", "", "output path for the netbench/storagebench/schedbench/simbench artifact (default BENCH_<suite>.json)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
-		gate    = fs.String("gate", "", "simbench/domainbench: regression-gate mode — rerun the gated suites and fail if >10% slower than this BENCH_sim.json / BENCH_domains.json")
+		gate    = fs.String("gate", "", "simbench/domainbench/geobench: regression-gate mode — rerun the gated suites and fail if >10% slower than this BENCH_sim.json / BENCH_domains.json / BENCH_geo.json")
 	)
 	fs.Parse(args)
 	if *cpuProf != "" {
@@ -150,6 +151,15 @@ func run(args []string) int {
 			out = "BENCH_domains.json"
 		}
 		return runDomainBench(*seed, *quick, out)
+	case "geobench":
+		if *gate != "" {
+			return runGeoGate(*gate)
+		}
+		out := *bench
+		if out == "" {
+			out = "BENCH_geo.json"
+		}
+		return runGeoBench(*seed, *quick, out)
 	}
 
 	proto := core.Proto{Seed: *seed, Workers: *workers, Domains: *domains}
@@ -269,6 +279,8 @@ func renderResult(name string, res core.Result, emit func(*report.Table)) {
 		renderFig2Sizes(r, emit)
 	case *core.Fig3SizeSweep:
 		renderFig3Sizes(r, emit)
+	case *core.Fig8GeoResult:
+		renderFig8Geo(r, emit)
 	default:
 		printAnchors(name, res.Anchors())
 	}
@@ -503,6 +515,24 @@ func renderSQLCompare(r *core.SQLCompareResult, emit func(*report.Table)) {
 	}
 	emit(t)
 	printAnchors("SQL comparison", r.Anchors())
+}
+
+func renderFig8Geo(r *core.Fig8GeoResult, emit func(*report.Table)) {
+	t := report.NewTable(
+		fmt.Sprintf("Fig 8 — cross-DC geo scenarios (%d regions)", r.Regions),
+		"scenario", "reads ok", "writes ok", "remote reads", "lag p50 (s)", "lag p95 (s)", "stale %", "RTO (s)", "lost writes")
+	row := func(name string, g *geo.Report) {
+		t.AddRow(name,
+			fmt.Sprint(g.ReadsOK), fmt.Sprint(g.WritesOK), fmt.Sprint(g.RemoteReads),
+			fmt.Sprintf("%.3f", g.LagP50Sec), fmt.Sprintf("%.3f", g.LagP95Sec),
+			fmt.Sprintf("%.2f", 100*g.StaleFrac),
+			fmt.Sprintf("%.2f", g.RTOSec), fmt.Sprint(g.LostWrites))
+	}
+	row("lag+flash", r.Lag)
+	row("read-your-writes", r.RYW)
+	row("region-kill", r.Kill)
+	emit(t)
+	printAnchors("Fig 8 geo", r.Anchors())
 }
 
 func renderQueueDepth(r *core.QueueDepthResult, emit func(*report.Table)) {

@@ -28,6 +28,28 @@ func TestRunChaosReportQuick(t *testing.T) {
 	}
 }
 
+func TestRunFig8GeoQuick(t *testing.T) {
+	sim.SetDefaultInvariants(true)
+	// fig8geo exercises the geo world render path and the -domains flag
+	// plumbing through the registry proto.
+	if code := run([]string{"-run", "fig8geo", "-quick", "-domains", "2"}); code != 0 {
+		t.Fatalf("azbench -run fig8geo -quick -domains 2 exited %d", code)
+	}
+}
+
+func TestRunGeoBenchQuick(t *testing.T) {
+	sim.SetDefaultInvariants(true)
+	out := t.TempDir() + "/BENCH_geo.json"
+	if code := run([]string{"-run", "geobench", "-quick", "-benchout", out}); code != 0 {
+		t.Fatalf("azbench -run geobench -quick exited %d", code)
+	}
+	// The capture is its own gate baseline: the gate must accept the file
+	// it just wrote (hash equality and the 10% wall band).
+	if code := run([]string{"-run", "geobench", "-gate", out}); code != 0 {
+		t.Fatalf("azbench -run geobench -gate exited %d", code)
+	}
+}
+
 func TestRunUnknownArtifact(t *testing.T) {
 	if code := run([]string{"-run", "nope"}); code != 2 {
 		t.Fatalf("azbench -run nope exited %d, want 2", code)

@@ -85,6 +85,25 @@ func policy(exp string, a core.Anchor) check {
 		// "Similar shapes" across sizes: worst deviation is a percentage
 		// with paper value 0, so it needs an absolute band.
 		c.relTol, c.absTol = 0, 35
+	case "fig8geo":
+		// Nominal geo-model design points (the paper stops at one
+		// datacenter), so the bands test the claim's shape. The zero- and
+		// small-count anchors need absolute bands: RelErr auto-passes on a
+		// paper value of 0, and the lost-write/RPO anchors are rare-event
+		// quantities of a single kill.
+		c.relTol = 0.25
+		switch a.Name {
+		case "stale read fraction (read-your-writes)":
+			// The read-your-writes guarantee itself: exactly zero stale reads.
+			c.relTol, c.absTol = 0, 0.001
+		case "region-kill RPO exposure":
+			c.relTol, c.absTol = 0, 0.2
+		case "acked writes lost at region kill":
+			c.relTol, c.absTol = 0, 2
+		case "failover routing flaps (kill+repair)":
+			// The flap-discipline regression: kill + repair, nothing else.
+			c.relTol, c.absTol = 0, 0.5
+		}
 	case "chaosreport":
 		switch a.Name {
 		case "invariant violations (all scenarios)":

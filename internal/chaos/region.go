@@ -1,0 +1,41 @@
+// Region-scale fault injection: the marquee chaos scenario is killing a
+// whole simulated Azure region — every host crashes at once and every
+// storage endpoint goes dark — and later restoring it, so geo experiments
+// can measure failover RTO (first successful read served elsewhere) and
+// RPO (acknowledged writes that had not replicated out).
+package chaos
+
+import (
+	"azureobs/internal/azure"
+	"azureobs/internal/storage/reqpath"
+)
+
+// KillRegion takes a whole region down in one instant: every host is
+// crashed (failing resident VMs and firing the fabric's host-down hooks)
+// and all four storage services switch to blackout, so in-flight and future
+// requests fail fast instead of hanging. It returns the number of VMs that
+// died with the region. Must run in the region's engine context.
+func KillRegion(c *azure.Cloud) int {
+	dead := 0
+	for _, h := range c.DC.Hosts() {
+		dead += len(c.DC.CrashHost(h))
+	}
+	for _, svc := range azure.StorageServices {
+		c.StoragePipeline(svc).SetOutage(reqpath.OutageBlackout)
+	}
+	return dead
+}
+
+// RestoreRegion repairs a region killed by KillRegion: hosts reboot and the
+// storage outages lift. Durable storage state (blob metadata, tables,
+// queues) is modeled as surviving the outage — the 2009 Azure storage
+// stack persisted through compute loss — so only in-flight work and
+// unreplicated geo state are lost. Must run in the region's engine context.
+func RestoreRegion(c *azure.Cloud) {
+	for _, h := range c.DC.Hosts() {
+		c.DC.RebootHost(h)
+	}
+	for _, svc := range azure.StorageServices {
+		c.StoragePipeline(svc).SetOutage(reqpath.OutageNone)
+	}
+}

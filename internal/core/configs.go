@@ -1,6 +1,10 @@
 package core
 
-import "azureobs/internal/netsim"
+import (
+	"time"
+
+	"azureobs/internal/netsim"
+)
 
 // This file is the single home of the three protocol variants of every
 // experiment: the paper-scale default, the quick reduced scale behind
@@ -152,6 +156,25 @@ func StartupConfigFor(p Proto) StartupScalingConfig {
 		cfg.Runs = 8
 	}
 	cfg.Proto = p.Apply(cfg.Proto)
+	return cfg
+}
+
+// Fig8GeoConfigFor expands a Proto into the cross-DC geo config.
+func Fig8GeoConfigFor(p Proto) Fig8GeoConfig {
+	cfg := DefaultFig8GeoConfig()
+	switch p.Scale {
+	case QuickScale:
+		cfg.ClientsPerRegion = 16
+		cfg.HotNames = 8
+		cfg.Horizon = 60 * time.Second
+	case ValidateScale:
+		cfg.ClientsPerRegion = 48
+		cfg.Horizon = 120 * time.Second
+	}
+	cfg.Proto = p.Apply(cfg.Proto)
+	if p.Size > 0 {
+		cfg.BlobBytes = int64(p.Size)
+	}
 	return cfg
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"azureobs/internal/fabric"
+	"azureobs/internal/geo"
 )
 
 // Trace goldens: every experiment below is hashed over the exact float64 bit
@@ -167,9 +168,43 @@ func encodeResult(g *goldenHasher, res Result) {
 			g.i64(int64(r.Sizes[i]))
 			encodeResult(g, sub)
 		}
+	case *Fig8GeoResult:
+		g.i64(int64(r.Regions))
+		for _, rep := range []*geo.Report{r.Lag, r.RYW, r.Kill} {
+			encodeGeoReport(g, rep)
+		}
 	default:
 		panic(fmt.Sprintf("no encoder for result type %T", res))
 	}
+}
+
+// encodeGeoReport serializes every field of a geo world report in
+// declaration order — the fig8geo equivalence test byte-compares these
+// streams across (workers, domains) sweeps.
+func encodeGeoReport(g *goldenHasher, r *geo.Report) {
+	g.i64(int64(r.Regions))
+	g.i64(r.ReadsOK)
+	g.i64(r.ReadsFailed)
+	g.i64(r.WritesOK)
+	g.i64(r.WritesFailed)
+	g.i64(r.RemoteReads)
+	g.i64(r.Commits)
+	g.i64(r.Applies)
+	g.f64(r.LagMeanSec)
+	g.f64(r.LagMaxSec)
+	g.f64(r.LagP50Sec)
+	g.f64(r.LagP95Sec)
+	g.i64(r.StaleReads)
+	g.f64(r.StaleFrac)
+	g.f64(r.RTOSec)
+	g.f64(r.RPOSec)
+	g.i64(r.LostWrites)
+	g.i64(r.KilledFlaps)
+	g.i64(r.TotalFlaps)
+	g.i64(r.KilledFailed)
+	g.i64(r.DeadVMs)
+	g.f64(r.MeanLatencySec)
+	g.f64(r.FinalVirtualSec)
 }
 
 // goldenTraces are the expected hashes, captured from the seed solver.

@@ -97,4 +97,5 @@ func init() {
 	Register(experiment{"fig3sizes", func(p Proto) Result {
 		return RunFig3Sizes(Fig3SizesBaseFor(p), PaperMessageSizes())
 	}})
+	Register(experiment{"fig8geo", func(p Proto) Result { return RunFig8Geo(Fig8GeoConfigFor(p)) }})
 }

@@ -10,6 +10,7 @@ func TestRegistryNamesComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "table1", "tcp", "propfilter", "queuedepth",
 		"replication", "sqlcompare", "startup", "fig2sizes", "fig3sizes",
+		"fig8geo",
 	}
 	got := Names()
 	if !reflect.DeepEqual(got, want) {

@@ -1,0 +1,14 @@
+package geo
+
+import (
+	"testing"
+
+	"azureobs/internal/sim"
+)
+
+func TestMain(m *testing.M) {
+	// Every engine in this package's tests runs with kernel invariant
+	// checks on — the region-kill scenarios assert under sim.Invariants.
+	sim.SetDefaultInvariants(true)
+	m.Run()
+}

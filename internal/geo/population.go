@@ -1,0 +1,251 @@
+package geo
+
+import (
+	"math"
+	"time"
+
+	"azureobs/internal/metrics"
+	"azureobs/internal/sim"
+	"azureobs/internal/simrand"
+	"azureobs/internal/storage/blobsvc"
+)
+
+// population is one region's closed-loop client fleet, driven entirely
+// through the flat-client fast path: every client is an embedded
+// sim.Actor state machine with cached continuations — no goroutine, no
+// channel, no per-operation allocation — so 100k+ clients per region stay
+// cheap. Think times follow a per-region diurnal sinusoid plus an optional
+// flash crowd; each operation consults the region's Router, so a dead home
+// region redirects load exactly when the traffic manager detects the
+// silence.
+type population struct {
+	r       *region
+	clients []client
+
+	readsOK, readsFailed   int64
+	writesOK, writesFailed int64
+	remoteReads            int64
+	firstFailover          time.Duration // first off-home read success after KillAt
+	latency                metrics.Summary
+	recs                   []readRec
+}
+
+// readRec is one successful read, recorded when cfg.RecordReads: which
+// replica served it, what version it observed and the linearization
+// instant the version snapshot was taken at.
+type readRec struct {
+	served int
+	name   int
+	ver    uint64
+	at     time.Duration
+}
+
+// client is one closed-loop flat client.
+type client struct {
+	p     *population
+	a     sim.Actor
+	sig   sim.Signal
+	sess  *blobsvc.Session
+	rng   *simrand.RNG
+	phase float64
+
+	attempt int
+	write   bool
+	name    int
+	target  int
+	opStart time.Duration
+
+	// remote completion results, filled by remoteDone before sig.Fire.
+	rServer int
+	rVer    uint64
+	rServe  time.Duration
+	rErr    error
+
+	onStart    func()
+	onIssue    func()
+	onLocalGet func(int64, error)
+	onLocalPut func(int64, error)
+	onUpSent   func()
+	onRemote   func()
+}
+
+func newPopulation(r *region) *population {
+	p := &population{r: r}
+	p.clients = make([]client, r.w.cfg.ClientsPerRegion)
+	for j := range p.clients {
+		c := &p.clients[j]
+		c.p = p
+		c.rng = r.rng.ForkN("client", j)
+		c.phase = float64(r.index) / float64(r.w.cfg.Regions)
+		c.sess = r.cloud.Blob.NewSession(j)
+		c.a.Bind(r.eng(), "geo-client")
+		c.onStart = c.start
+		c.onIssue = c.issue
+		c.onLocalGet = c.localGet
+		c.onLocalPut = c.localPut
+		c.onUpSent = c.upSent
+		c.onRemote = c.remoteResult
+		c.a.Go(c.onStart)
+	}
+	return p
+}
+
+// start staggers the fleet: every client thinks once before its first
+// request.
+func (c *client) start() { c.a.Sleep(c.nextThink(), c.onIssue) }
+
+// issue begins one operation (or one retry of the in-flight operation).
+func (c *client) issue() {
+	now := c.a.Now()
+	cfg := &c.p.r.w.cfg
+	if now >= cfg.Horizon {
+		c.a.Finish()
+		return
+	}
+	if c.attempt == 0 {
+		c.write = c.rng.Hit(cfg.WriteFrac)
+		c.name = int(c.rng.Float64() * float64(cfg.HotNames))
+		if c.name >= cfg.HotNames {
+			c.name = cfg.HotNames - 1
+		}
+	}
+	c.opStart = now
+	home := c.p.r.index
+	st := c.p.r.w.store
+	if c.write || cfg.ReadMode == ReadPrimary {
+		// Writes always commit at the primary; read-your-writes reads are
+		// served by it.
+		c.target = st.primary
+	} else {
+		c.target = c.p.r.router.Pick()
+	}
+	if c.target == home {
+		if c.write {
+			c.sess.PutFlat(&c.a, Container, c.p.r.w.names[c.name], cfg.BlobBytes, true, c.onLocalPut)
+			return
+		}
+		// Linearization point: the home replica's visible version, read at
+		// the issue instant, is what this read observes.
+		rs := st.replicas[home]
+		c.rVer = rs.vals[c.name]
+		c.rServe = now
+		c.sess.GetFlat(&c.a, Container, c.p.r.w.names[c.name], c.onLocalGet)
+		return
+	}
+	if c.write {
+		// Store-and-forward: push the payload across the home trunk toward
+		// the primary before handing the request over.
+		c.p.r.cloud.DC.Net().TransferFlat(&c.a, cfg.BlobBytes, c.onUpSent, c.p.r.lh.Trunk(c.target))
+		return
+	}
+	c.sendRemote()
+}
+
+func (c *client) upSent() { c.sendRemote() }
+
+// sendRemote forwards the request to the target region's gateway and parks
+// the actor until the response message fires the signal.
+func (c *client) sendRemote() {
+	w := c.p.r.w
+	home := c.p.r.index
+	target, write, name := c.target, c.write, c.name
+	cl := c
+	w.send(home, target, w.oneWay(home, target), func() {
+		w.regions[target].gw.handle(cl, write, name, w.cfg.BlobBytes, home)
+	})
+	c.sig.WaitFlat(&c.a, c.onRemote)
+}
+
+// remoteDone is called by the transport when the response message drains
+// at the home region; it wakes the parked actor.
+func (c *client) remoteDone(server int, ver uint64, serveAt time.Duration, err error) {
+	c.rServer, c.rVer, c.rServe, c.rErr = server, ver, serveAt, err
+	c.sig.Fire()
+}
+
+func (c *client) remoteResult() { c.finish(c.rServer, c.rVer, c.rServe, c.rErr) }
+
+func (c *client) localGet(_ int64, err error) {
+	c.finish(c.p.r.index, c.rVer, c.rServe, err)
+}
+
+func (c *client) localPut(size int64, err error) {
+	if err == nil {
+		// Local writes only happen when home is the primary.
+		c.p.r.w.store.commit(c.name, size)
+	}
+	c.finish(c.p.r.index, 0, 0, err)
+}
+
+// finish settles one attempt: success records and thinks, failure backs
+// off and retries (re-routing on every retry, which is how a failover
+// target is adopted).
+func (c *client) finish(server int, ver uint64, serveAt time.Duration, err error) {
+	now := c.a.Now()
+	p := c.p
+	cfg := &p.r.w.cfg
+	if err != nil {
+		if c.write {
+			p.writesFailed++
+		} else {
+			p.readsFailed++
+		}
+		c.attempt++
+		c.a.Sleep(c.backoff(), c.onIssue)
+		return
+	}
+	c.attempt = 0
+	p.latency.AddDuration(now - c.opStart)
+	if c.write {
+		p.writesOK++
+	} else {
+		p.readsOK++
+		if server != p.r.index {
+			p.remoteReads++
+			if cfg.KillAt > 0 && now >= cfg.KillAt && p.firstFailover == 0 {
+				p.firstFailover = now
+			}
+		}
+		if cfg.RecordReads {
+			p.recs = append(p.recs, readRec{served: server, name: c.name, ver: ver, at: serveAt})
+		}
+	}
+	if now >= cfg.Horizon {
+		c.a.Finish()
+		return
+	}
+	c.a.Sleep(c.nextThink(), c.onIssue)
+}
+
+// backoff is the deterministic retry curve: 250ms·2^(attempt-1) capped at
+// 2s, plus up to 100ms of client-stream jitter so a failed region's whole
+// population does not retry in lockstep.
+func (c *client) backoff() time.Duration {
+	sh := c.attempt - 1
+	if sh > 3 {
+		sh = 3
+	}
+	base := 250 * time.Millisecond << sh
+	jitter := time.Duration(c.rng.Float64() * float64(100*time.Millisecond))
+	return base + jitter
+}
+
+// nextThink draws the closed-loop think time, modulated by the region's
+// diurnal phase and the flash-crowd window.
+func (c *client) nextThink() time.Duration {
+	cfg := &c.p.r.w.cfg
+	now := c.a.Now()
+	rate := 1.0
+	if cfg.DiurnalAmp > 0 {
+		x := float64(now)/float64(cfg.DayLength) + c.phase
+		rate += cfg.DiurnalAmp * math.Sin(2*math.Pi*x)
+	}
+	if cfg.FlashDur > 0 && c.p.r.index == cfg.FlashRegion &&
+		now >= cfg.FlashStart && now < cfg.FlashStart+cfg.FlashDur {
+		rate *= cfg.FlashBoost
+	}
+	if rate < 0.05 {
+		rate = 0.05
+	}
+	return time.Duration(c.rng.ExpFloat64() * float64(cfg.MeanThink) / rate)
+}

@@ -1,0 +1,147 @@
+package geo
+
+import (
+	"time"
+)
+
+// Policy selects how the global traffic manager maps a client population
+// onto a serving region.
+type Policy int
+
+const (
+	// PolicyNearest serves from the lowest-RTT healthy region (the home
+	// region, when it is up — home RTT is always the minimum).
+	PolicyNearest Policy = iota
+	// PolicyFailover pins to the home region and walks the ring
+	// home+1, home+2, … to the first healthy region when home is down.
+	PolicyFailover
+)
+
+// Route is the pure routing function: given a policy, a client's home
+// region, the current health vector and the RTT vector from home, it
+// returns the serving region. It is total — every input, including an
+// all-down health vector, yields a valid index — and its tie-break is
+// deterministic (lowest index wins among equal-RTT healthy regions). With
+// no healthy region it returns home: the request will fail fast there and
+// the client's retry loop re-routes when health recovers.
+func Route(p Policy, home int, healthy []bool, rtt []time.Duration) int {
+	n := len(healthy)
+	if n == 0 {
+		return home
+	}
+	if home < 0 || home >= n {
+		home = 0
+	}
+	if healthy[home] {
+		return home
+	}
+	switch p {
+	case PolicyFailover:
+		for d := 1; d < n; d++ {
+			j := (home + d) % n
+			if healthy[j] {
+				return j
+			}
+		}
+	default: // PolicyNearest
+		best, bestRTT := -1, time.Duration(0)
+		for j := 0; j < n; j++ {
+			if !healthy[j] {
+				continue
+			}
+			r := time.Duration(0)
+			if j < len(rtt) {
+				r = rtt[j]
+			}
+			if best < 0 || r < bestRTT {
+				best, bestRTT = j, r
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return home
+}
+
+// Router is one region's view of global health: heartbeat arrivals stamp
+// lastHeard, silence past FailTimeout marks a region down, and a repaired
+// region is held out of rotation for RepromoteHold after it is heard again
+// (hysteresis — without it, routing would flap between home and the
+// failover target while a repair settles).
+type Router struct {
+	r *region
+
+	lastHeard []time.Duration
+	everDown  []bool
+	reviveAt  []time.Duration
+
+	healthy []bool          // scratch, rebuilt per Pick
+	rtt     []time.Duration // static RTT row from home
+
+	picked   bool
+	lastPick int
+	flaps    int64
+}
+
+func newRouter(r *region) *Router {
+	n := r.w.cfg.Regions
+	rt := &Router{
+		r:         r,
+		lastHeard: make([]time.Duration, n),
+		everDown:  make([]bool, n),
+		reviveAt:  make([]time.Duration, n),
+		healthy:   make([]bool, n),
+		rtt:       make([]time.Duration, n),
+	}
+	for j := 0; j < n; j++ {
+		rt.rtt[j] = 2 * r.w.oneWay(r.index, j)
+	}
+	return rt
+}
+
+// heard records a health probe from region src. A probe that breaks a
+// silence longer than FailTimeout starts the hold-down clock.
+func (rt *Router) heard(src int) {
+	now := rt.r.eng().Now()
+	if now-rt.lastHeard[src] > rt.r.w.cfg.FailTimeout {
+		rt.everDown[src] = true
+		rt.reviveAt[src] = now
+	}
+	rt.lastHeard[src] = now
+}
+
+// up reports whether region j is currently routable from this router's
+// view. Initial lastHeard of zero gives every region a grace window of
+// FailTimeout from the start of time, before the first probes land.
+func (rt *Router) up(j int) bool {
+	now := rt.r.eng().Now()
+	if now-rt.lastHeard[j] > rt.r.w.cfg.FailTimeout {
+		return false
+	}
+	if rt.everDown[j] && now-rt.reviveAt[j] < rt.r.w.cfg.RepromoteHold {
+		return false
+	}
+	return true
+}
+
+// Pick routes one request from this region's population and counts target
+// transitions (flaps). A healthy steady state never flaps; one region-kill
+// plus repair costs exactly two transitions (home→failover at detection,
+// failover→home after the hold-down).
+func (rt *Router) Pick() int {
+	for j := range rt.healthy {
+		rt.healthy[j] = rt.up(j)
+	}
+	t := Route(rt.r.w.cfg.Policy, rt.r.index, rt.healthy, rt.rtt)
+	if rt.picked && t != rt.lastPick {
+		rt.flaps++
+	}
+	rt.picked = true
+	rt.lastPick = t
+	return t
+}
+
+// Flaps returns the number of routing-target transitions this router has
+// made (the FalseKills-style regression quantity).
+func (rt *Router) Flaps() int64 { return rt.flaps }

@@ -1,0 +1,122 @@
+package geo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRouteHomeWhenHealthy(t *testing.T) {
+	healthy := []bool{true, true, true, true}
+	rtt := []time.Duration{100, 10, 20, 30}
+	for _, p := range []Policy{PolicyNearest, PolicyFailover} {
+		// Home wins while healthy even when another region has lower RTT:
+		// home RTT is the model minimum in the world, but Route itself must
+		// not betray the pin.
+		if got := Route(p, 0, healthy, rtt); got != 0 {
+			t.Fatalf("policy %v: healthy home not chosen, got %d", p, got)
+		}
+	}
+}
+
+func TestRouteFailoverRing(t *testing.T) {
+	healthy := []bool{false, false, true, true}
+	if got := Route(PolicyFailover, 0, healthy, nil); got != 2 {
+		t.Fatalf("failover from 0 with {2,3} healthy: got %d, want 2 (ring order)", got)
+	}
+	if got := Route(PolicyFailover, 3, []bool{true, false, false, false}, nil); got != 0 {
+		t.Fatalf("failover wraps the ring: got %d, want 0", got)
+	}
+}
+
+func TestRouteNearestTieBreak(t *testing.T) {
+	healthy := []bool{false, true, true, true}
+	rtt := []time.Duration{0, 50, 50, 50}
+	// Equal RTTs: the lowest index must win, deterministically.
+	if got := Route(PolicyNearest, 0, healthy, rtt); got != 1 {
+		t.Fatalf("tie-break: got %d, want 1", got)
+	}
+	rtt[2] = 40
+	if got := Route(PolicyNearest, 0, healthy, rtt); got != 2 {
+		t.Fatalf("nearest: got %d, want 2", got)
+	}
+}
+
+func TestRouteTotalAllDown(t *testing.T) {
+	healthy := []bool{false, false, false}
+	for _, p := range []Policy{PolicyNearest, PolicyFailover} {
+		if got := Route(p, 1, healthy, nil); got != 1 {
+			t.Fatalf("all-down must return home: got %d", got)
+		}
+	}
+	if got := Route(PolicyNearest, 0, nil, nil); got != 0 {
+		t.Fatalf("empty health vector must return home: got %d", got)
+	}
+}
+
+// FuzzGeoRoute fuzzes policy totality over arbitrary health/latency
+// vectors: Route must always return a valid region, never route to a down
+// region while any healthy one exists, respect the home pin, and
+// tie-break deterministically.
+func FuzzGeoRoute(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(4), uint16(0b1111), uint32(30), uint32(25))
+	f.Add(uint8(1), uint8(3), uint8(4), uint16(0b0001), uint32(30), uint32(0))
+	f.Add(uint8(0), uint8(2), uint8(7), uint16(0), uint32(5), uint32(1))
+	f.Fuzz(func(t *testing.T, pol, home, n uint8, healthMask uint16, base, hop uint32) {
+		regions := 1 + int(n%16)
+		p := Policy(pol % 2)
+		h := int(home) % regions
+		healthy := make([]bool, regions)
+		anyHealthy := false
+		for j := range healthy {
+			healthy[j] = healthMask>>j&1 == 1
+			anyHealthy = anyHealthy || healthy[j]
+		}
+		rtt := make([]time.Duration, regions)
+		for j := range rtt {
+			rtt[j] = time.Duration(base+uint32(j)*hop) * time.Microsecond
+		}
+
+		got := Route(p, h, healthy, rtt)
+		if got < 0 || got >= regions {
+			t.Fatalf("Route(%v,%d,%v) = %d out of range", p, h, healthy, got)
+		}
+		if got2 := Route(p, h, healthy, rtt); got2 != got {
+			t.Fatalf("nondeterministic: %d then %d", got, got2)
+		}
+		if anyHealthy && !healthy[got] {
+			t.Fatalf("routed to down region %d with healthy regions in %v", got, healthy)
+		}
+		if !anyHealthy && got != h {
+			t.Fatalf("all-down must return home %d, got %d", h, got)
+		}
+		if healthy[h] && got != h {
+			t.Fatalf("healthy home %d not honored, got %d", h, got)
+		}
+		if anyHealthy && !healthy[h] {
+			switch p {
+			case PolicyFailover:
+				// First healthy region in ring order from home.
+				for d := 1; d < regions; d++ {
+					j := (h + d) % regions
+					if healthy[j] {
+						if got != j {
+							t.Fatalf("failover ring: got %d, want %d", got, j)
+						}
+						break
+					}
+				}
+			case PolicyNearest:
+				// Minimal (rtt, index) among healthy regions.
+				for j := 0; j < regions; j++ {
+					if !healthy[j] {
+						continue
+					}
+					if rtt[j] < rtt[got] || (rtt[j] == rtt[got] && j < got) {
+						t.Fatalf("nearest: got %d (rtt %v), but %d (rtt %v) is better",
+							got, rtt[got], j, rtt[j])
+					}
+				}
+			}
+		}
+	})
+}

@@ -175,6 +175,19 @@ func (s *Service) Seed(container, name string, size int64) *Blob {
 	return b
 }
 
+// Apply makes the stored copy of a blob match a replicated payload: a
+// no-op when the blob exists at the given size, otherwise an untimed
+// seed/reseed. This is the geo-replication apply path (internal/geo): the
+// long-haul transfer is timed on the trunk link before Apply runs, so the
+// local store mutation itself is instantaneous — matching how the
+// intra-datacenter replicas behind the capacity profiles are modeled.
+func (s *Service) Apply(container, name string, size int64) *Blob {
+	if b, ok := s.Lookup(container, name); ok && b.Size == size {
+		return b
+	}
+	return s.Seed(container, name, size)
+}
+
 // Pipeline exposes the service's request pipeline so callers (the azure SDK)
 // can install per-request hooks; sessions share its hook set.
 func (s *Service) Pipeline() *reqpath.Pipeline { return s.pl }
