@@ -2,9 +2,9 @@
 # everything, vets, runs the full test suite under the race detector,
 # smoke-runs every benchmark once so the bench harness can never rot, and
 # gives each fuzz target a short live-fuzz burst beyond its seed corpus.
-.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke domainbench domainbench-smoke domainbench-gate geobench geobench-smoke geobench-gate validate serve wiresmoke
+.PHONY: check build vet test bench-smoke fuzz-smoke bench netbench storagebench schedbench simbench simbench-gate scalebench scalebench-smoke domainbench domainbench-smoke domainbench-gate geobench geobench-smoke geobench-gate campaignbench campaignbench-smoke campaignbench-gate validate serve wiresmoke
 
-check: build vet test bench-smoke fuzz-smoke scalebench-smoke domainbench-smoke geobench-smoke wiresmoke
+check: build vet test bench-smoke fuzz-smoke scalebench-smoke domainbench-smoke geobench-smoke campaignbench-smoke wiresmoke
 
 build:
 	go build ./...
@@ -25,6 +25,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzFaultConfig$$' -fuzztime 30s ./internal/storage/reqpath
 	go test -run '^$$' -fuzz '^FuzzRetryClassify$$' -fuzztime 30s ./internal/azure
 	go test -run '^$$' -fuzz '^FuzzGeoRoute$$' -fuzztime 30s ./internal/geo
+	go test -race -run '^$$' -fuzz '^FuzzDomainMailOrder$$' -fuzztime 30s ./internal/sim
 
 # Full timed microbenchmarks (internal/netsim flow churn + sweeps).
 bench:
@@ -97,6 +98,25 @@ geobench-smoke:
 # against the checked-in BENCH_geo.json.
 geobench-gate:
 	go run ./cmd/azbench -run geobench -gate BENCH_geo.json
+
+# Domain-sharded ModisAzure campaign ladder (domains 1/2/4/8 over a 21-day
+# quick campaign on eight workload shards) refreshing the checked-in
+# BENCH_campaign.json; every rung must produce the identical campaign
+# fingerprint.
+campaignbench:
+	go run ./cmd/azbench -run campaignbench
+
+# Reduced ladder (domains 1/2, 7-day campaign) with the same cross-domain
+# fingerprint-equality assertions. Writes its artifact to /tmp so the
+# checked-in full-scale capture stays untouched.
+campaignbench-smoke:
+	go run ./cmd/azbench -run campaignbench -quick -benchout /tmp/BENCH_campaign_smoke.json
+
+# Regression step in the domainbench-gate convention: rerun the campaign at
+# domains=1 (min of five) and fail on >10% slowdown — or any fingerprint
+# drift — against the checked-in BENCH_campaign.json.
+campaignbench-gate:
+	go run ./cmd/azbench -run campaignbench -gate BENCH_campaign.json
 
 # Serve the simulated cloud over the 2009 Azure REST surface on
 # localhost:10000 (freerun clock; see cmd/azserve for paced mode and

@@ -46,6 +46,10 @@ type domainPoint struct {
 	Efficiency  float64 `json:"efficiency,omitempty"`
 	TraceHash   string  `json:"trace_hash"`
 	Events      uint64  `json:"events_fired,omitempty"`
+	// ClampedGroups counts groups that ran narrower than the requested
+	// width (a layer clamped the ask — geo to its region count, modis to
+	// its shard count). Surfaced per the no-silent-caps convention.
+	ClampedGroups int `json:"clamped_groups,omitempty"`
 }
 
 type domainBenchReport struct {

@@ -139,15 +139,20 @@ func runGeoBench(seed uint64, quick bool, out string) int {
 	}
 
 	accPoint := func(suite string, d int, hash string, acc *sim.DomainAccum, wall time.Duration) domainPoint {
+		if acc.Clamped > 0 {
+			fmt.Printf("geobench: note: %s domains=%d: %d group(s) clamped below the requested width (regions bound the useful width)\n",
+				suite, d, acc.Clamped)
+		}
 		return domainPoint{
-			Suite:       suite,
-			Domains:     d,
-			WallMS:      float64(wall) / 1e6,
-			BusyMS:      float64(acc.Busy) / 1e6,
-			Utilization: acc.Utilization(),
-			Rounds:      acc.Rounds,
-			Groups:      acc.Groups,
-			TraceHash:   hash,
+			Suite:         suite,
+			Domains:       d,
+			WallMS:        float64(wall) / 1e6,
+			BusyMS:        float64(acc.Busy) / 1e6,
+			Utilization:   acc.Utilization(),
+			Rounds:        acc.Rounds,
+			Groups:        acc.Groups,
+			TraceHash:     hash,
+			ClampedGroups: acc.Clamped,
 		}
 	}
 

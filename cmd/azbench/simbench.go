@@ -264,6 +264,47 @@ func mixedWorkload(iters int) {
 	eng.Run()
 }
 
+// mailChurn is the cross-domain mail path distilled: four domains, each
+// running one process that mails eight messages per window to the other
+// domains, then sleeps to the next boundary. Every iteration exercises
+// Send (gather), flushMail (pooled batch assembly) and deliverBatch
+// (pooled slice recycling); the counters on the receiving side make the
+// deliveries real work the compiler cannot elide. Width is fixed at four
+// so GOMAXPROCS=1 captures stay comparable — the suite prices the mail
+// machinery, not the parallelism.
+func mailChurn(iters int) {
+	const width, perRound = 4, 8
+	g := sim.NewDomains(width)
+	g.SetWindow(100 * time.Microsecond)
+	received := make([]int, width)
+	rounds := iters / (width * perRound)
+	if rounds < 1 {
+		rounds = 1
+	}
+	for d := 0; d < width; d++ {
+		d := d
+		eng := g.Domain(d)
+		eng.Spawn("mailer", func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				for j := 0; j < perRound; j++ {
+					dst := (d + j + 1) % width
+					eng.Send(dst, func() { received[dst]++ })
+				}
+				p.Sleep(100 * time.Microsecond)
+			}
+		})
+	}
+	g.Run()
+	want := width * perRound * rounds
+	total := 0
+	for _, n := range received {
+		total += n
+	}
+	if total != want {
+		panic(fmt.Sprintf("simbench: mail-churn delivered %d of %d", total, want))
+	}
+}
+
 // fig1Cell192 runs one closed-loop fig1-style cell: 192 clients each issuing
 // sequential ParallelGet requests against one shared blob, the workload whose
 // per-request process fan-out motivated worker reuse. It returns the wall
@@ -352,6 +393,7 @@ var simSuites = []struct {
 	{"cancel-churn/8192", 50000, true, func(n int) { cancelChurn(8192, n) }},
 	{"resched-churn/1024", 200000, true, func(n int) { reschedChurn(1024, n) }},
 	{"spawn-churn", 300000, true, spawnChurn},
+	{"mail-churn", 400000, true, mailChurn},
 	{"sleep-ladder", 500000, false, sleepLadder},
 	{"mixed", 100000, false, mixedWorkload},
 }

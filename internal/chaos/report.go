@@ -41,6 +41,9 @@ type Report struct {
 	Violations uint64
 }
 
+// NewReport returns an empty report, ready to Merge per-shard reports into.
+func NewReport() *Report { return newReport() }
+
 func newReport() *Report {
 	return &Report{
 		injected: make(map[Class]uint64),

@@ -233,6 +233,11 @@ type World struct {
 	store   *geoStore
 	names   []string
 	ran     bool
+
+	// requestedDomains is the pre-clamp Config.Domains ask; withDefaults
+	// cuts it to the region count (a domain with no region would idle every
+	// round), and Stats surfaces the difference rather than hiding it.
+	requestedDomains int
 }
 
 // region is one datacenter plus everything homed in it. All of its fields
@@ -263,8 +268,12 @@ func (r *region) eng() *sim.Engine { return r.cloud.Engine }
 // NewWorld builds the regions, trunks, replicas, routers, populations and
 // chaos schedule. Call Run once to execute to drain.
 func NewWorld(cfg Config) *World {
+	requested := cfg.Domains
 	cfg = cfg.withDefaults()
-	w := &World{cfg: cfg}
+	if requested < 1 {
+		requested = cfg.Domains // defaulted, not clamped
+	}
+	w := &World{cfg: cfg, requestedDomains: requested}
 	w.group = sim.NewDomains(cfg.Domains)
 	w.group.SetWindow(cfg.Window)
 
@@ -321,11 +330,23 @@ func (w *World) Run() sim.DomainStats {
 	}
 	w.ran = true
 	w.group.Run()
-	return w.group.Stats()
+	return w.Stats()
 }
 
-// Stats returns the coordinator stats (valid after Run).
-func (w *World) Stats() sim.DomainStats { return w.group.Stats() }
+// Stats returns the coordinator stats (valid after Run), with Requested
+// carrying the pre-clamp Config.Domains ask.
+func (w *World) Stats() sim.DomainStats {
+	s := w.group.Stats()
+	s.Requested = w.requestedDomains
+	return s
+}
+
+// RequestedDomains returns the Config.Domains ask before the region-count
+// clamp; EffectiveDomains the width the world actually runs at.
+func (w *World) RequestedDomains() int { return w.requestedDomains }
+
+// EffectiveDomains returns the clamped domain width.
+func (w *World) EffectiveDomains() int { return w.cfg.Domains }
 
 // EventsFired sums fired events across all member engines.
 func (w *World) EventsFired() uint64 { return w.group.EventsFired() }

@@ -60,3 +60,36 @@ func TestWorldDomainEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestDomainClampSurfaced pins the no-silent-caps contract: asking for more
+// domains than regions runs clamped, and the clamp is visible in the
+// accessors and in DomainStats.Requested rather than disappearing.
+func TestDomainClampSurfaced(t *testing.T) {
+	cfg := testConfig()
+	cfg.Domains = 16 // testConfig has 4 regions
+	cfg.ClientsPerRegion = 4
+	cfg.Horizon = 5 * time.Second
+	w := NewWorld(cfg)
+	if got := w.RequestedDomains(); got != 16 {
+		t.Errorf("RequestedDomains = %d, want 16", got)
+	}
+	if got := w.EffectiveDomains(); got != 4 {
+		t.Errorf("EffectiveDomains = %d, want 4 (region count)", got)
+	}
+	w.Run()
+	st := w.Stats()
+	if st.Domains != 4 || st.Requested != 16 {
+		t.Errorf("Stats = {Domains: %d, Requested: %d}, want {4, 16}", st.Domains, st.Requested)
+	}
+
+	// An unclamped ask reports Requested == Domains: no false alarms.
+	cfg2 := testConfig()
+	cfg2.Domains = 2
+	cfg2.ClientsPerRegion = 4
+	cfg2.Horizon = 5 * time.Second
+	w2 := NewWorld(cfg2)
+	w2.Run()
+	if st := w2.Stats(); st.Domains != 2 || st.Requested != 2 {
+		t.Errorf("unclamped Stats = {Domains: %d, Requested: %d}, want {2, 2}", st.Domains, st.Requested)
+	}
+}

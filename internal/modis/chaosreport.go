@@ -119,18 +119,19 @@ func RunChaosReport(cfg ChaosReportConfig) *ChaosReportResult {
 			MeanRequestGap:      100 * time.Minute,
 			MeanTasksPerRequest: 140,
 			Chaos:               sc.cfg(),
+			Domains:             cfg.Proto.Domains,
 		})
 		// Recording mode: a violation must not abort the campaign mid-fault —
 		// the whole point is counting what survives. (If a test binary turned
 		// fail-fast checking on for every engine, that stricter mode wins.)
-		inv := camp.Cloud().Engine.EnableInvariants(false)
+		camp.EnableInvariants(false)
 		st := camp.Run()
 		out := ChaosScenarioResult{
 			Scenario:       sc.name,
 			Executions:     st.TotalExecs(),
 			CrashAborted:   st.CrashAborted,
 			ReplacementVMs: st.ReplacementVMs,
-			Violations:     inv.ViolationCount(),
+			Violations:     camp.InvariantViolations(),
 			Report:         camp.ChaosReport(),
 		}
 		return out

@@ -2,6 +2,7 @@ package modis
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -60,6 +61,26 @@ type Config struct {
 	// label-forked, so a nil/disabled config leaves every trace
 	// bit-identical.
 	Chaos *chaos.Config
+
+	// Domains ≥ 1 runs the campaign sharded onto a sim.Domains group of
+	// that width (clamped to Shards; the clamp is surfaced through
+	// RequestedDomains/EffectiveDomains, never silent). Zero keeps the
+	// legacy single-engine path, byte-identical to previous releases.
+	// Sharded results are bit-identical at every width — shard identity is
+	// fixed by Shards, not Domains — but differ from the legacy path,
+	// whose queue is a single serial object.
+	Domains int
+
+	// Shards is the fixed partition count for sharded runs (default 8):
+	// workers, their VMs/hosts/degradation streams, and the task queue
+	// split into this many shards, shard s running on domain s mod
+	// Domains. Changing Shards changes the trace; changing Domains does
+	// not.
+	Shards int
+
+	// DomainStats, when non-nil, accumulates the coordinator's
+	// rounds/mail/busy accounting for sharded runs (bench plumbing).
+	DomainStats *sim.DomainAccum
 }
 
 // DefaultConfig is the paper-scale campaign.
@@ -209,16 +230,35 @@ type Campaign struct {
 	respawns  int
 
 	// Conservation counters (checked against the invariant harness at the
-	// end of Run): finishes counts finishTask calls.
+	// end of Run): finishes counts finishTask calls (legacy mode) or
+	// applied finish notes (sharded mode).
 	finishes uint64
+
+	// Sharded mode (cfg.Domains ≥ 1). The coordinator — portal, service
+	// manager, request state, task dispatch — lives on domain 0 with its
+	// own cloud (c.cloud); workers, their VMs/hosts/degradation streams
+	// and the task queue split into cfg.Shards shards, shard s on domain
+	// s mod width. All cross-shard traffic is boundary mail: dispatches
+	// outbound, completion/retry/crash notes inbound, drained from inbox
+	// in the canonical (send time, shard, per-shard seq) order so every
+	// coordinator decision is independent of the domain width.
+	group            *sim.Domains
+	shards           []*shard
+	requestedDomains int
+	inbox            []taskNote
+	inboxArmed       bool
+	dispatchSeq      uint64
+	applied          [numNoteKinds]uint64
 }
 
 // taskQueue couples the real Azure queue service with an instant wakeup
 // channel so idle workers do not busy-poll across months of simulated time.
 // (The production system polled; the token queue reproduces the same FIFO
-// delivery without 10^8 empty polls.)
+// delivery without 10^8 empty polls.) do is the owner's storage-operation
+// wrapper (the campaign's in legacy mode, a shard's in sharded mode), so
+// retries and errors are tallied against the right books.
 type taskQueue struct {
-	camp   *Campaign
+	do     func(p *sim.Proc, name string, op func() error) error
 	cloud  *azure.Cloud
 	q      *queuesvc.Queue
 	tokens *sim.Queue[uint64]
@@ -230,8 +270,9 @@ type taskQueue struct {
 	delivered uint64
 }
 
-// NewCampaign assembles a campaign.
-func NewCampaign(cfg Config) *Campaign {
+// withDefaults fills zero fields from DefaultConfig and normalises the
+// sharding knobs.
+func (cfg Config) withDefaults() Config {
 	def := DefaultConfig()
 	if cfg.Days == 0 {
 		cfg.Days = def.Days
@@ -257,6 +298,43 @@ func NewCampaign(cfg Config) *Campaign {
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = def.MaxAttempts
 	}
+	if cfg.Domains > 0 && cfg.Shards == 0 {
+		cfg.Shards = defaultShards
+	}
+	return cfg
+}
+
+// newCampaignStats allocates a Stats block with Table 2's row order
+// pre-registered, so reports are stable even for classes that never occur
+// at small scale.
+func newCampaignStats(days int) *Stats {
+	st := &Stats{
+		TaskExecs:       metrics.NewCounterSet(),
+		Outcomes:        metrics.NewCounterSet(),
+		DailyExecs:      make([]uint64, days+1),
+		DailyTimeouts:   make([]uint64, days+1),
+		TurnaroundHours: metrics.NewSample(4096),
+		StorageErrors:   metrics.NewCounterSet(),
+	}
+	for _, ty := range []TaskType{SourceDownload, Aggregation, Reprojection, Reduction} {
+		st.TaskExecs.Inc(ty.String(), 0)
+	}
+	_, oc := paperTable2()
+	for _, o := range table2OutcomeOrder() {
+		if _, ok := oc[o]; ok {
+			st.Outcomes.Inc(string(o), 0)
+		}
+	}
+	st.Outcomes.Inc(string(OutcomeUserCode), 0)
+	return st
+}
+
+// NewCampaign assembles a campaign.
+func NewCampaign(cfg Config) *Campaign {
+	cfg = cfg.withDefaults()
+	if cfg.Domains > 0 {
+		return newShardedCampaign(cfg)
+	}
 
 	ccfg := azure.Config{Seed: cfg.Seed, Faults: cfg.StorageFaults}
 	ccfg.Fabric = fabric.DefaultConfig()
@@ -269,25 +347,18 @@ func NewCampaign(cfg Config) *Campaign {
 	cloud := azure.NewCloud(ccfg)
 
 	c := &Campaign{
-		cfg:   cfg,
-		cloud: cloud,
-		rng:   simrand.New(cfg.Seed).Fork("modis"),
-		Stats: &Stats{
-			TaskExecs:       metrics.NewCounterSet(),
-			Outcomes:        metrics.NewCounterSet(),
-			DailyExecs:      make([]uint64, cfg.Days+1),
-			DailyTimeouts:   make([]uint64, cfg.Days+1),
-			TurnaroundHours: metrics.NewSample(4096),
-		},
+		cfg:      cfg,
+		cloud:    cloud,
+		rng:      simrand.New(cfg.Seed).Fork("modis"),
+		Stats:    newCampaignStats(cfg.Days),
 		workers:  cloud.Controller.ReadyFleet(cfg.Workers, fabric.Worker, fabric.Small),
 		Log:      oplog.New(256),
 		Analyzer: oplog.NewTaxonomyAnalyzer(string(OutcomeVMTimeout)),
 	}
-	c.Stats.StorageErrors = metrics.NewCounterSet()
 	c.retry = azure.DefaultRetryPolicy().WithJitter(0.5, c.rng.Fork("retry"))
 	c.Log.Subscribe(c.Analyzer.Sink())
 	c.queue = &taskQueue{
-		camp:   c,
+		do:     c.storageDo,
 		cloud:  cloud,
 		q:      cloud.Queue.CreateQueue("modis-tasks"),
 		tokens: sim.NewQueue[uint64](),
@@ -299,18 +370,6 @@ func NewCampaign(cfg Config) *Campaign {
 	cloud.Table.CreateTable("modis-requests")
 	c.reqQueue = cloud.Queue.CreateQueue("modis-requests")
 	c.reqTokens = sim.NewQueue[*Request]()
-	// Pre-register Table 2's row order so reports are stable even for
-	// classes that never occur at small scale.
-	for _, ty := range []TaskType{SourceDownload, Aggregation, Reprojection, Reduction} {
-		c.Stats.TaskExecs.Inc(ty.String(), 0)
-	}
-	_, oc := paperTable2()
-	for _, o := range table2OutcomeOrder() {
-		if _, ok := oc[o]; ok {
-			c.Stats.Outcomes.Inc(string(o), 0)
-		}
-	}
-	c.Stats.Outcomes.Inc(string(OutcomeUserCode), 0)
 	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
 		ch := *cfg.Chaos
 		if ch.Horizon == 0 {
@@ -337,19 +396,107 @@ func table2OutcomeOrder() []Outcome {
 	}
 }
 
-// Cloud exposes the underlying cloud (tests and the CLI use it).
+// Cloud exposes the underlying cloud (tests and the CLI use it). In sharded
+// mode this is the coordinator's cloud on domain 0.
 func (c *Campaign) Cloud() *azure.Cloud { return c.cloud }
 
 // ChaosReport returns the fault-campaign taxonomy, or nil when chaos is off.
+// A sharded campaign's report is the shard reports merged in shard order.
 func (c *Campaign) ChaosReport() *chaos.Report {
+	if c.group != nil {
+		if c.shards[0].chaos == nil {
+			return nil
+		}
+		rep := chaos.NewReport()
+		for _, sh := range c.shards {
+			rep.Merge(sh.chaos.Report())
+		}
+		rep.Violations = c.InvariantViolations()
+		return rep
+	}
 	if c.chaos == nil {
 		return nil
 	}
 	return c.chaos.Report()
 }
 
+// EnableInvariants turns on the kernel invariant harness for every engine
+// the campaign runs on (one in legacy mode, every domain in sharded mode).
+// failFast=false records violations instead of panicking.
+func (c *Campaign) EnableInvariants(failFast bool) {
+	if c.group == nil {
+		c.cloud.Engine.EnableInvariants(failFast)
+		return
+	}
+	for i := 0; i < c.group.N(); i++ {
+		c.group.Domain(i).EnableInvariants(failFast)
+	}
+}
+
+// InvariantViolations sums recorded invariant violations across the
+// campaign's engines (zero when the harness was never enabled).
+func (c *Campaign) InvariantViolations() uint64 {
+	if c.group == nil {
+		if inv := c.cloud.Engine.Invariants(); inv != nil {
+			return inv.ViolationCount()
+		}
+		return 0
+	}
+	var n uint64
+	for i := 0; i < c.group.N(); i++ {
+		if inv := c.group.Domain(i).Invariants(); inv != nil {
+			n += inv.ViolationCount()
+		}
+	}
+	return n
+}
+
+// RequestedDomains and EffectiveDomains surface the sharding clamp: a
+// request for more domains than shards is cut to the shard count (a domain
+// with no shard would idle every round), and callers are expected to report
+// the difference rather than let it pass silently.
+func (c *Campaign) RequestedDomains() int { return c.requestedDomains }
+
+// EffectiveDomains returns the domain width the campaign actually runs at
+// (0 in legacy mode).
+func (c *Campaign) EffectiveDomains() int {
+	if c.group == nil {
+		return 0
+	}
+	return c.group.N()
+}
+
+// DomainStats returns the sharded coordinator's accounting (zero in legacy
+// mode). Valid after Run.
+func (c *Campaign) DomainStats() sim.DomainStats {
+	if c.group == nil {
+		return sim.DomainStats{}
+	}
+	s := c.group.Stats()
+	s.Requested = c.requestedDomains
+	return s
+}
+
+// RecentRecords returns the tail of the campaign's execution log — the ring
+// contents in legacy mode, the shard rings merged by (time, shard) in
+// sharded mode.
+func (c *Campaign) RecentRecords() []oplog.Record {
+	if c.group == nil {
+		return c.Log.Recent()
+	}
+	var out []oplog.Record
+	for _, sh := range c.shards {
+		out = append(out, sh.log.Recent()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
 // Run executes the campaign for its configured horizon.
 func (c *Campaign) Run() *Stats {
+	if c.group != nil {
+		return c.runSharded()
+	}
 	c.cloud.Engine.Spawn("portal", c.portal)
 	c.cloud.Engine.SpawnDaemon("service-manager", c.serviceManager)
 	c.procs = make([]*sim.Proc, len(c.workers))
@@ -568,18 +715,30 @@ func stageOrder() []TaskType {
 // turnaround recorded ("upon completion ... an email is sent to the user",
 // Section 5.1).
 func (c *Campaign) releaseStage(p *sim.Proc, req *Request, idx int) {
+	c.releaseStageAt(p, p.Now(), req, idx)
+}
+
+// releaseStageAt is releaseStage with the clock passed explicitly: sharded
+// completions apply at the coordinator's inbox drain, an event with no
+// process (p is nil there; sharded release dispatches mail, which needs no
+// process either).
+func (c *Campaign) releaseStageAt(p *sim.Proc, now time.Duration, req *Request, idx int) {
 	order := stageOrder()
 	for ; idx < len(order); idx++ {
 		ty := order[idx]
 		if req.remaining[ty] > 0 {
 			for _, t := range req.tasks[ty] {
-				c.queue.enqueue(p, t)
+				if c.group != nil {
+					c.dispatchTask(t)
+				} else {
+					c.queue.enqueue(p, t)
+				}
 			}
 			return
 		}
 	}
 	c.Stats.CompletedRequests++
-	c.Stats.TurnaroundHours.Add((p.Now() - req.submitted).Hours())
+	c.Stats.TurnaroundHours.Add((now - req.submitted).Hours())
 }
 
 // storageDo runs one storage operation under the campaign's retry policy —
@@ -720,7 +879,7 @@ func (c *Campaign) finishTask(p *sim.Proc, task *Task) {
 // production hazard the explicit status tables were built to detect.
 func (b *taskQueue) enqueue(p *sim.Proc, t *Task) {
 	b.tasks[t.ID] = t
-	if err := b.camp.storageDo(p, "queue.Add", func() error {
+	if err := b.do(p, "queue.Add", func() error {
 		_, err := b.cloud.Queue.Add(p, b.q, strconv.FormatUint(t.ID, 10), 1024)
 		return err
 	}); err != nil {
@@ -760,7 +919,7 @@ func (b *taskQueue) tryReceive(p *sim.Proc, tok uint64) *Task {
 		var msg *queuesvc.Message
 		var rcpt queuesvc.Receipt
 		var ok bool
-		if err := b.camp.storageDo(p, "queue.Receive", func() error {
+		if err := b.do(p, "queue.Receive", func() error {
 			var err error
 			msg, rcpt, ok, err = b.cloud.Queue.Receive(p, b.q, 2*time.Hour)
 			return err
@@ -775,7 +934,7 @@ func (b *taskQueue) tryReceive(p *sim.Proc, tok uint64) *Task {
 		// A failed delete means this message reappears after its
 		// visibility window — the stale-redelivery hazard of
 		// Section 5.2. The reappearance is handled below.
-		b.camp.storageDo(p, "queue.Delete", func() error {
+		b.do(p, "queue.Delete", func() error {
 			return b.cloud.Queue.Delete(p, b.q, rcpt)
 		})
 		id, err := strconv.ParseUint(msg.Body, 10, 64)

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -52,10 +55,38 @@ type Domains struct {
 	members []*Engine
 	window  time.Duration
 
+	// Adaptive window state (SetAdaptiveWindow): the coordinator doubles or
+	// halves window between rounds to steer per-round fired-event counts
+	// toward adaptTarget. Fired counts are deterministic simulation state,
+	// so the boundary sequence stays reproducible.
+	adaptive           bool
+	adaptMin, adaptMax time.Duration
+	adaptTarget        uint64
+
 	// mail[src] is the boundary mailbox of domain src: appended only by
 	// src's kernel goroutine during a round, flushed only by the
 	// coordinator after the round barrier.
 	mail [][]mailMsg
+
+	// batch[dst] is the pooled per-destination delivery batch: the
+	// coordinator gathers a boundary's mail for dst into it (in the
+	// (source domain, send order) merge order) and schedules one event —
+	// batchFn[dst] — that runs the batch and truncates it for reuse.
+	// armed[dst] reports that such an event is pending; gathering into an
+	// armed batch is safe (the pending event delivers appended entries at
+	// the same clamped instant, in order) and covers the corner where a
+	// destination's clock outran the boundary so its batch event has not
+	// fired yet. The slices recycle across rounds like the event free
+	// list, capped at maxMailSliceCap entries.
+	batch   [][]func()
+	armed   []bool
+	batchFn []func()
+
+	// labels[i] is domain i's precomputed pprof label set; every round
+	// goroutine (and the worker goroutines its kernel spawns, which
+	// inherit goroutine labels) runs under it, so CPU profiles attribute
+	// samples to domains.
+	labels []pprof.LabelSet
 
 	rounds    int
 	delivered uint64
@@ -64,6 +95,11 @@ type Domains struct {
 	panics    []any
 	running   bool
 }
+
+// maxMailSliceCap bounds the capacity retained by recycled mail queues and
+// delivery batches, mirroring the event free-list cap: a one-off mail burst
+// should not pin its high-water backing array forever.
+const maxMailSliceCap = 1 << 16
 
 // mailMsg is one queued cross-domain send.
 type mailMsg struct {
@@ -81,6 +117,10 @@ func NewDomains(n int) *Domains {
 	d := &Domains{
 		members: make([]*Engine, n),
 		mail:    make([][]mailMsg, n),
+		batch:   make([][]func(), n),
+		armed:   make([]bool, n),
+		batchFn: make([]func(), n),
+		labels:  make([]pprof.LabelSet, n),
 		busy:    make([]time.Duration, n),
 		panics:  make([]any, n),
 	}
@@ -89,6 +129,9 @@ func NewDomains(n int) *Domains {
 		e.group = d
 		e.domIndex = i
 		d.members[i] = e
+		dst := i
+		d.batchFn[i] = func() { d.deliverBatch(dst) }
+		d.labels[i] = pprof.Labels("domain", strconv.Itoa(i))
 	}
 	return d
 }
@@ -113,10 +156,53 @@ func (d *Domains) SetWindow(w time.Duration) {
 		panic("sim: SetWindow during Domains.Run")
 	}
 	d.window = w
+	d.adaptive = false
 }
 
-// Window returns the configured window width (0 = run-to-drain rounds).
+// SetAdaptiveWindow makes the window self-tuning: it starts at min and,
+// between rounds, doubles whenever the round fired fewer than half of
+// targetEvents (barrier overhead dominates — widen) and halves whenever it
+// fired more than twice targetEvents (cross-domain mail latency quantizes
+// up to the window — narrow), clamped to [min, max]. Skip-ahead over empty
+// windows is preserved. The adjustment reads only fired-event counts, which
+// are deterministic simulation state, so the boundary sequence — and with
+// it every trace — remains bit-identical run to run and across domain
+// widths.
+func (d *Domains) SetAdaptiveWindow(min, max time.Duration, targetEvents int) {
+	if d.running {
+		panic("sim: SetAdaptiveWindow during Domains.Run")
+	}
+	if min <= 0 || max < min || targetEvents < 1 {
+		panic(fmt.Sprintf("sim: SetAdaptiveWindow(%v, %v, %d): need 0 < min ≤ max and target ≥ 1",
+			min, max, targetEvents))
+	}
+	d.window = min
+	d.adaptive = true
+	d.adaptMin, d.adaptMax = min, max
+	d.adaptTarget = uint64(targetEvents)
+}
+
+// Window returns the current window width (0 = run-to-drain rounds). Under
+// SetAdaptiveWindow it reports the width the next round will use.
 func (d *Domains) Window() time.Duration { return d.window }
+
+// adaptWindow applies the adaptive-window rule after a bounded round that
+// fired delta events group-wide.
+func (d *Domains) adaptWindow(delta uint64) {
+	if !d.adaptive {
+		return
+	}
+	switch {
+	case delta < d.adaptTarget/2 && d.window < d.adaptMax:
+		if d.window *= 2; d.window > d.adaptMax {
+			d.window = d.adaptMax
+		}
+	case delta > d.adaptTarget*2 && d.window > d.adaptMin:
+		if d.window /= 2; d.window < d.adaptMin {
+			d.window = d.adaptMin
+		}
+	}
+}
 
 // Now returns the latest virtual time any domain has reached.
 func (d *Domains) Now() time.Duration { return d.maxNow() }
@@ -228,6 +314,7 @@ func (d *Domains) Run() {
 			t = limit
 		}
 		d.rounds++
+		before := d.EventsFired()
 		d.runRound(bounded, limit)
 		if pv := d.takePanic(); pv != nil {
 			panic(pv)
@@ -237,6 +324,78 @@ func (d *Domains) Run() {
 			boundary = d.maxNow()
 		}
 		d.flushMail(boundary)
+		if bounded {
+			d.adaptWindow(d.EventsFired() - before)
+		}
+	}
+}
+
+// RunUntil executes the group in bounded rounds until virtual time reaches
+// deadline — the windowed counterpart of Engine.RunUntil for horizon-bounded
+// workloads (a campaign that runs for N days rather than to drain). Events
+// scheduled exactly at the deadline do fire, matching Engine.RunUntil, and
+// every member clock is advanced to the deadline on return. Mail queued in
+// the final round (or addressed past the horizon) stays queued: the horizon
+// cut it off exactly as it cuts off pending events. RunUntil requires a
+// positive window — SetWindow or SetAdaptiveWindow first — because an
+// unbounded round could run arbitrarily far past the deadline.
+func (d *Domains) RunUntil(deadline time.Duration) {
+	if d.running {
+		panic("sim: Domains.RunUntil reentered")
+	}
+	if d.window <= 0 {
+		panic("sim: Domains.RunUntil needs a window — call SetWindow or SetAdaptiveWindow first")
+	}
+	for _, m := range d.members {
+		if m.running {
+			panic("sim: Domains.RunUntil with a member engine already running")
+		}
+		m.stopped = false
+	}
+	d.running = true
+	start := time.Now()
+	defer func() {
+		d.wall += time.Since(start)
+		d.running = false
+		for _, m := range d.members {
+			m.releaseIdleWorkers()
+		}
+	}()
+
+	// runWindow's limit is exclusive, so the last round runs to deadline+1:
+	// events at exactly the deadline fire, later ones do not.
+	end := deadline + 1
+	var t time.Duration
+	for t < end {
+		if !d.anyRunnable() && !d.mailQueued() {
+			break
+		}
+		if next, ok := d.earliestPending(); ok && next >= t+d.window {
+			t += (next - t) / d.window * d.window
+			if t >= end {
+				break // every remaining event lies past the deadline
+			}
+		}
+		limit := t + d.window
+		if limit > end {
+			limit = end
+		}
+		t = limit
+		d.rounds++
+		before := d.EventsFired()
+		d.runRound(true, limit)
+		if pv := d.takePanic(); pv != nil {
+			panic(pv)
+		}
+		if limit < end {
+			d.flushMail(limit)
+		}
+		d.adaptWindow(d.EventsFired() - before)
+	}
+	for _, m := range d.members {
+		if m.now < deadline {
+			m.now = deadline
+		}
 	}
 }
 
@@ -273,11 +432,16 @@ func (d *Domains) roundOn(m *Engine, bounded bool, limit time.Duration) {
 		}
 	}()
 	m.running = true
-	if bounded {
-		m.runWindow(limit)
-	} else {
-		m.runToDrain()
-	}
+	// The label set makes profiles attribute kernel time (and the worker
+	// goroutines this round spawns, which inherit goroutine labels) to
+	// "domain=<index>".
+	pprof.Do(context.Background(), d.labels[m.domIndex], func(context.Context) {
+		if bounded {
+			m.runWindow(limit)
+		} else {
+			m.runToDrain()
+		}
+	})
 }
 
 // runWindow fires the engine's events with time strictly before limit — the
@@ -373,29 +537,73 @@ func (d *Domains) earliestPending() (time.Duration, bool) {
 	return best, ok
 }
 
-// flushMail delivers every queued cross-domain send as a foreground event
-// at the boundary time, iterating sources in domain-index order and each
-// source's queue in send order — the deterministic merge.
+// flushMail delivers every queued cross-domain send at the boundary time,
+// iterating sources in domain-index order and each source's queue in send
+// order — the deterministic merge. Rather than one event per message, the
+// merge gathers each destination's mail into its pooled batch and schedules
+// a single batch event per destination: the batch runs its callbacks in the
+// merge order and bumps the destination's fired count by the message count,
+// so EventsFired stays per-message (width-invariant for workloads whose
+// message count is) and the only observable change versus per-message
+// events is one heap push instead of n.
 func (d *Domains) flushMail(boundary time.Duration) {
 	for src := range d.mail {
 		msgs := d.mail[src]
 		if len(msgs) == 0 {
 			continue
 		}
-		d.mail[src] = msgs[:0]
 		for i := range msgs {
-			dst := d.members[msgs[i].dst]
-			at := boundary
-			if at < dst.now {
-				// A drained domain's clock can sit past a lagging window
-				// boundary; deliver at its present instead of its past. The
-				// clamp is itself deterministic: member clocks are.
-				at = dst.now
-			}
-			dst.Schedule(at, msgs[i].fn)
+			d.batch[msgs[i].dst] = append(d.batch[msgs[i].dst], msgs[i].fn)
 			msgs[i] = mailMsg{} // corpse discipline: queues retain nothing
 			d.delivered++
 		}
+		if cap(msgs) > maxMailSliceCap {
+			d.mail[src] = nil
+		} else {
+			d.mail[src] = msgs[:0]
+		}
+	}
+	for dst := range d.batch {
+		if len(d.batch[dst]) == 0 || d.armed[dst] {
+			// Armed: the destination's pending batch event has not fired
+			// (its clock outran a lagging boundary, or it stopped). The
+			// entries just appended ride along — same delivery instant,
+			// merge order preserved.
+			continue
+		}
+		m := d.members[dst]
+		at := boundary
+		if at < m.now {
+			// A drained domain's clock can sit past a lagging window
+			// boundary; deliver at its present instead of its past. The
+			// clamp is itself deterministic: member clocks are.
+			at = m.now
+		}
+		d.armed[dst] = true
+		m.Schedule(at, d.batchFn[dst])
+	}
+}
+
+// deliverBatch is the body of a destination's batch event: run the gathered
+// callbacks in merge order and recycle the batch slice. It executes on the
+// destination's kernel goroutine; the coordinator only touches the batch
+// between rounds, on the far side of the round barrier.
+func (d *Domains) deliverBatch(dst int) {
+	d.armed[dst] = false
+	b := d.batch[dst]
+	m := d.members[dst]
+	// Step counted the batch event once; count the rest of the messages so
+	// EventsFired matches per-message delivery exactly.
+	m.fired += uint64(len(b) - 1)
+	for i := range b {
+		fn := b[i]
+		b[i] = nil
+		fn()
+	}
+	if cap(b) > maxMailSliceCap {
+		d.batch[dst] = nil
+	} else {
+		d.batch[dst] = b[:0]
 	}
 }
 
@@ -414,8 +622,14 @@ func (d *Domains) takePanic() any {
 
 // DomainStats is the coordinator's accounting for one group.
 type DomainStats struct {
-	Domains int           // group width
-	Rounds  int           // coordinator rounds executed
+	Domains int // group width
+	// Requested is the width the caller asked for — greater than Domains
+	// when a layer above clamped the ask (geo clamps to its region count,
+	// modis to its shard count). Stats fills it with the actual width; the
+	// clamping layer overwrites it so reports can surface the cap instead
+	// of letting it pass silently.
+	Requested int
+	Rounds    int // coordinator rounds executed
 	Mail    uint64        // boundary mailbox events delivered
 	Busy    time.Duration // summed in-round execution time across domains
 	Wall    time.Duration // total Run wall time
@@ -439,6 +653,7 @@ func (s DomainStats) Utilization() float64 {
 func (d *Domains) Stats() DomainStats {
 	s := DomainStats{
 		Domains:       len(d.members),
+		Requested:     len(d.members),
 		Rounds:        d.rounds,
 		Mail:          d.delivered,
 		Wall:          d.wall,
@@ -460,8 +675,11 @@ type DomainAccum struct {
 	Rounds int
 	Mail   uint64
 	Width  int // widest group seen
-	Busy   time.Duration
-	Wall   time.Duration
+	// Clamped counts groups that ran narrower than their caller asked
+	// (Requested > Domains) — bench reports surface it; no silent caps.
+	Clamped int
+	Busy    time.Duration
+	Wall    time.Duration
 }
 
 // Add folds one group's stats into the accumulator.
@@ -473,6 +691,9 @@ func (a *DomainAccum) Add(s DomainStats) {
 	a.Mail += s.Mail
 	if s.Domains > a.Width {
 		a.Width = s.Domains
+	}
+	if s.Requested > s.Domains {
+		a.Clamped++
 	}
 	a.Busy += s.Busy
 	a.Wall += s.Wall

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mailScriptOp is one decoded fuzz instruction: node src sends to node dst,
+// dt ticks after src's previous send.
+type mailScriptOp struct {
+	src, dst int
+	dt       time.Duration
+}
+
+// decodeMailScript turns raw fuzz bytes into a bounded send script over
+// mailFuzzNodes logical nodes.
+func decodeMailScript(data []byte) []mailScriptOp {
+	const maxOps = 256
+	ops := make([]mailScriptOp, 0, len(data)/3)
+	for i := 0; i+2 < len(data) && len(ops) < maxOps; i += 3 {
+		ops = append(ops, mailScriptOp{
+			src: int(data[i]) % mailFuzzNodes,
+			dst: int(data[i+1]) % mailFuzzNodes,
+			dt:  time.Duration(data[i+2]%64+1) * mailFuzzTick,
+		})
+	}
+	return ops
+}
+
+const (
+	mailFuzzNodes  = 8
+	mailFuzzTick   = time.Microsecond
+	mailFuzzWindow = 16 * mailFuzzTick
+)
+
+// runMailScript executes the script over a Domains group of the given
+// width, with the geo buffer-and-sort delivery discipline: node n lives on
+// domain n%width, every message is stamped (src, per-pair seq) at send
+// time, receivers buffer raw boundary arrivals and drain them sorted by
+// (src, seq). It returns each node's drained delivery log.
+func runMailScript(width int, ops []mailScriptOp) [][]string {
+	type msg struct {
+		src int
+		seq uint64
+	}
+	g := NewDomains(width)
+	g.SetWindow(mailFuzzWindow)
+
+	logs := make([][]string, mailFuzzNodes)
+	inbox := make([][]msg, mailFuzzNodes)
+	armed := make([]bool, mailFuzzNodes)
+	outSeq := make([][]uint64, mailFuzzNodes) // per (src, dst) pair
+	for n := 0; n < mailFuzzNodes; n++ {
+		outSeq[n] = make([]uint64, mailFuzzNodes)
+	}
+	drain := func(node int) {
+		armed[node] = false
+		b := inbox[node]
+		inbox[node] = b[:0]
+		// Insertion sort by (src, seq): raw arrival order is (source
+		// domain, send order), which depends on the width; this canonical
+		// order must not.
+		for i := 1; i < len(b); i++ {
+			for j := i; j > 0 && (b[j].src < b[j-1].src ||
+				(b[j].src == b[j-1].src && b[j].seq < b[j-1].seq)); j-- {
+				b[j], b[j-1] = b[j-1], b[j]
+			}
+		}
+		for _, m := range b {
+			logs[node] = append(logs[node], fmt.Sprintf("%d:%d@%d", m.src, m.seq, g.Domain(node%width).Now()/mailFuzzTick))
+		}
+	}
+
+	// Schedule the script: each op fires on src's engine dt after the
+	// node's previous op, and mails a stamped message to dst.
+	next := make([]time.Duration, mailFuzzNodes)
+	for _, op := range ops {
+		op := op
+		next[op.src] += op.dt
+		src := g.Domain(op.src % width)
+		src.Schedule(next[op.src], func() {
+			outSeq[op.src][op.dst]++
+			m := msg{src: op.src, seq: outSeq[op.src][op.dst]}
+			src.Send(op.dst%width, func() {
+				dstEng := g.Domain(op.dst % width)
+				inbox[op.dst] = append(inbox[op.dst], m)
+				if !armed[op.dst] {
+					armed[op.dst] = true
+					node := op.dst
+					dstEng.Schedule(dstEng.Now(), func() { drain(node) })
+				}
+			})
+		})
+	}
+	g.Run()
+	return logs
+}
+
+// FuzzDomainMailOrder asserts the window-boundary mail contract the
+// campaign and geo layers build on: for any send script, the canonical
+// (src, seq)-sorted delivery order — and the boundary each message lands
+// on — is invariant under the domain width and under goroutine
+// interleaving (each width runs twice; run the target under -race to make
+// the second claim sharp).
+func FuzzDomainMailOrder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 5, 1, 0, 5, 2, 3, 40, 3, 2, 1})
+	f.Add([]byte{7, 0, 63, 0, 7, 63, 7, 0, 1, 0, 0, 9})
+	seed := make([]byte, 96)
+	for i := range seed {
+		seed[i] = byte(i*37 + 11)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeMailScript(data)
+		var want [][]string
+		for _, width := range []int{1, 2, 4, 8} {
+			for rep := 0; rep < 2; rep++ {
+				got := runMailScript(width, ops)
+				if want == nil {
+					want = got
+					continue
+				}
+				for n := range got {
+					if len(got[n]) != len(want[n]) {
+						t.Fatalf("width=%d rep=%d node=%d: %d deliveries, want %d\ngot  %v\nwant %v",
+							width, rep, n, len(got[n]), len(want[n]), got[n], want[n])
+					}
+					for k := range got[n] {
+						if got[n][k] != want[n][k] {
+							t.Fatalf("width=%d rep=%d node=%d delivery %d: %q, want %q",
+								width, rep, n, k, got[n][k], want[n][k])
+						}
+					}
+				}
+			}
+		}
+	})
+}
